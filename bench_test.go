@@ -1,0 +1,302 @@
+package sae
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the artifact at full paper scale on the simulated
+// cluster; headline quantities are attached as custom metrics so the shape
+// comparison with the paper is visible in benchmark output. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Plus micro-benchmarks of the load-bearing substrates.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sae/internal/core"
+	"sae/internal/device"
+	"sae/internal/engine/job"
+	"sae/internal/exp"
+	"sae/internal/metrics"
+	"sae/internal/psres"
+	"sae/internal/sim"
+	"sae/internal/workloads"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Table1()
+		if r.Total != 117 {
+			b.Fatalf("total = %d", r.Total)
+		}
+		b.ReportMetric(float64(r.Total), "parameters")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Table2(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.App == "terasort" {
+				b.ReportMetric(row.DiffPct, "terasort-io-diff-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure1(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Apps[0].Stages[0].CPUPct, "terasort-s0-cpu-%")
+		b.ReportMetric(r.Apps[0].Stages[0].IowaitPct, "terasort-s0-iowait-%")
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ts, _, err := exp.Figure2(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(exp.Reduction(ts.Default, ts.BestFit), "terasort-bestfit-red-%")
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure3(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MaxOverMinRd, "read-maxmin-x")
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		agg, _, err := exp.Figure4(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(exp.Reduction(agg.Default, agg.BestFit), "aggregation-bestfit-red-%")
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure5(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Panels[0].UtilPct[0], "terasort-s0-util-at-32-%")
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure6(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Threads[0][0]), "exec0-s0-threads")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure7(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Stages[0].Selected), "s0-selected-threads")
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure8(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, app := range r.Apps {
+			b.ReportMetric(app.DynamicRed, app.App+"-dyn-red-%")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure9(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var d4, d16 float64
+		for _, row := range r.Rows {
+			if row.Policy == "default" {
+				if row.Nodes == 4 {
+					d4 = row.Seconds
+				} else {
+					d16 = row.Seconds
+				}
+			}
+		}
+		b.ReportMetric(d16/d4, "default-16v4-slowdown-x")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hdd, ssd, err := exp.Figure10(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(exp.Reduction(hdd.Default, hdd.BestFit), "hdd-bestfit-red-%")
+		b.ReportMetric(exp.Reduction(ssd.Default, ssd.BestFit), "ssd-bestfit-red-%")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure11(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.App.DynamicRed, "ssd-dyn-red-%")
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure12(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Panels {
+			if p.Stage == 0 && p.Disk == "HDD" {
+				b.ReportMetric(p.Mean[4], "hdd-s0-mean-MBps-at-4")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- substrates
+
+// BenchmarkSimKernel measures raw event throughput of the DES kernel.
+func BenchmarkSimKernel(b *testing.B) {
+	k := sim.NewKernel()
+	for i := 0; i < b.N; i++ {
+		k.After(0, func() {})
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkProcessSwitch measures process park/resume round trips.
+func BenchmarkProcessSwitch(b *testing.B) {
+	k := sim.NewKernel()
+	k.Go("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkProcessorSharing measures the disk model under churn.
+func BenchmarkProcessorSharing(b *testing.B) {
+	k := sim.NewKernel()
+	s := psres.NewServer(k, psres.Config{Name: "d", Curve: device.HDD7200().Curve(1)})
+	for i := 0; i < 64; i++ {
+		k.Go("w", func(p *sim.Proc) {
+			for j := 0; j < b.N/64+1; j++ {
+				s.Serve(p, 1<<20, 1)
+			}
+		})
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkDynamicController measures MAPE-K decision overhead.
+func BenchmarkDynamicController(b *testing.B) {
+	c := core.DefaultDynamic().NewController(job.ExecutorInfo{MaxThreads: 32})
+	c.StageStart(job.StageMeta{ID: 0, NumTasks: 1 << 30, IOMarked: true})
+	tm := job.TaskMetrics{Stage: 0, BlockedIO: 1e6, BytesMoved: 1 << 20, End: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Start = tm.End
+		tm.End += 1e9
+		c.TaskDone(tm)
+	}
+}
+
+// BenchmarkCongestionIndex measures the analyzer's ζ computation.
+func BenchmarkCongestionIndex(b *testing.B) {
+	iv := metrics.Interval{Start: 0, End: 1e9, BlockedIO: 5e8, Bytes: 1 << 30, Tasks: 8}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += iv.Congestion()
+	}
+	_ = sink
+}
+
+// BenchmarkEngineTerasort measures a full paper-scale engine run.
+func BenchmarkEngineTerasort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Default().Run(workloads.Terasort(workloads.Paper()), core.DefaultDynamic(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Runtime.Seconds(), "virtual-s")
+	}
+}
+
+// BenchmarkRDDWordCount measures the dataflow layer end to end.
+func BenchmarkRDDWordCount(b *testing.B) {
+	lines := make([]string, 5000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("alpha beta gamma delta %d", i%97)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, err := NewContext(ContextOptions{Policy: Default()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		text := TextFile(ctx, "bench/in", lines, 16)
+		words := FlatMap(text, func(l string) []string { return strings.Fields(l) })
+		pairs := MapData(words, func(w string) Pair[string, int] { return Pair[string, int]{Key: w, Value: 1} })
+		counts := ReduceByKey(pairs, func(a, b int) int { return a + b }, 8)
+		out, _, err := Collect(counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the §5.2 design-choice ablation table.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Ablation(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row, ok := r.Get("terasort", "dynamic"); ok {
+			b.ReportMetric(row.RedVsDefault, "terasort-dyn-red-%")
+		}
+		if row, ok := r.Get("terasort", "utilization-driven"); ok {
+			b.ReportMetric(row.RedVsDefault, "terasort-util-red-%")
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Command sae-disk prints the calibrated storage device profiles: aggregate
+// bandwidth and the contention (overload) factor against the concurrent
+// stream count, for the HDD and SSD models of §6. These curves are what
+// make the paper's thread-count effects emerge in the simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sae"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sae-disk", flag.ContinueOnError)
+	maxStreams := fs.Int("max", 128, "largest stream count to print")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	for _, spec := range []sae.DiskSpec{sae.HDD(), sae.SSD()} {
+		peak, at := spec.Peak()
+		fmt.Printf("%s — peak %.0f MB/s at %d streams\n", spec.Name, peak/1e6, at)
+		fmt.Printf("  %8s %12s %10s\n", "streams", "B(n) MB/s", "overload")
+		for n := 1; n <= *maxStreams; n *= 2 {
+			fmt.Printf("  %8d %12.1f %10.2f\n", n, spec.At(n)/1e6, spec.Overload(n))
+		}
+	}
+}

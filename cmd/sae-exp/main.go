@@ -1,0 +1,76 @@
+// Command sae-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sae-exp [-scale F] [-nodes N] [-ssd] [-seed S] [experiment ...]
+//
+// With no arguments it runs every experiment in order. Valid experiment IDs
+// are table1, table2 and fig1 … fig12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sae"
+	"sae/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sae-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sae-exp", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1, "data scale relative to the paper (1 = full size)")
+	nodes := fs.Int("nodes", 4, "cluster size")
+	ssd := fs.Bool("ssd", false, "use the SSD device model instead of HDDs")
+	seed := fs.Int64("seed", 1, "node-variability seed")
+	list := fs.Bool("list", false, "list experiments and exit")
+	csvDir := fs.String("csv", "", "also export each artifact's data series as CSV under this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		exps := sae.Experiments()
+		for _, id := range sae.ExperimentIDs() {
+			fmt.Printf("%-8s %s\n", id, exps[id].Title)
+		}
+		return nil
+	}
+
+	setup := sae.DAS5().WithScale(*scale).WithNodes(*nodes)
+	setup.Seed = *seed
+	if *ssd {
+		setup = setup.WithSSD()
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = sae.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := sae.RunExperiment(id, setup)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Print(res)
+		if *csvDir != "" {
+			if tab, ok := res.(exp.Tabular); ok {
+				if err := exp.WriteCSV(filepath.Join(*csvDir, id), tab); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("  [%s regenerated in %.2fs wall time]\n\n", id, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestListExperiments(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneExperimentScaledDown(t *testing.T) {
+	if err := run([]string{"-scale", "0.05", "table1", "fig6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Command sae-run executes one workload under one executor sizing policy on
+// the simulated cluster and prints the run report.
+//
+// Usage:
+//
+//	sae-run [-workload terasort] [-policy dynamic] [-threads 8]
+//	        [-scale F] [-nodes N] [-ssd] [-decisions]
+//
+// Policies: default | static | dynamic. The static policy uses -threads for
+// I/O-marked stages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sae"
+	"sae/internal/conf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sae-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sae-run", flag.ContinueOnError)
+	workload := fs.String("workload", "terasort", "workload: terasort|pagerank|aggregation|join|scan|bayes|lda|nweight|svm")
+	policy := fs.String("policy", "dynamic", "sizing policy: default|static|dynamic")
+	threads := fs.Int("threads", 8, "static policy thread count for I/O stages")
+	scale := fs.Float64("scale", 1, "data scale relative to the paper")
+	nodes := fs.Int("nodes", 4, "cluster size")
+	ssd := fs.Bool("ssd", false, "use the SSD device model")
+	decisions := fs.Bool("decisions", false, "print the MAPE-K decision log")
+	var confFlags multiFlag
+	fs.Var(&confFlags, "conf", "configuration override key=value (repeatable, e.g. -conf speculation=true)")
+	traceFile := fs.String("trace", "", "write the engine event log (JSON lines) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	setup := sae.DAS5().WithScale(*scale).WithNodes(*nodes)
+	if *ssd {
+		setup = setup.WithSSD()
+	}
+	if len(confFlags) > 0 {
+		reg := conf.New()
+		for _, kv := range confFlags {
+			k, v, err := conf.ParseFlag(kv)
+			if err != nil {
+				return err
+			}
+			if err := reg.Set(k, v); err != nil {
+				return err
+			}
+		}
+		setup.Config = reg
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		setup.Trace = f
+	}
+	w, err := sae.WorkloadByName(*workload, sae.WorkloadConfig{Nodes: *nodes, Scale: *scale})
+	if err != nil {
+		return err
+	}
+
+	var p sae.Policy
+	switch *policy {
+	case "default":
+		p = sae.Default()
+	case "static":
+		p = sae.Static(*threads)
+	case "dynamic":
+		p = sae.Adaptive()
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	rep, err := sae.Run(setup, w, p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	if *decisions {
+		for exec, ds := range rep.Decisions {
+			for _, d := range ds {
+				fmt.Printf("  executor %d, stage %d @%7.1fs → %2d threads: %s\n",
+					exec, d.Stage, d.At.Seconds(), d.Threads, d.Reason)
+			}
+		}
+	}
+	return nil
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunSmallWorkload(t *testing.T) {
+	err := run([]string{"-workload", "aggregation", "-scale", "0.05", "-policy", "static", "-threads", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithConfOverrides(t *testing.T) {
+	err := run([]string{
+		"-workload", "join", "-scale", "0.05",
+		"-conf", "speculation=true", "-conf", "executor.cores=8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "nope"},
+		{"-policy", "nope", "-scale", "0.01"},
+		{"-conf", "malformed"},
+		{"-conf", "no.such.key=1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

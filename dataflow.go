@@ -1,0 +1,130 @@
+package sae
+
+import (
+	"sae/internal/engine"
+	"sae/internal/rdd"
+)
+
+// The typed dataflow (RDD-style) API, re-exported from the internal layer.
+// Transformations build a lineage plan; actions compile it into stages at
+// shuffle boundaries and execute it with real data on the simulated
+// cluster, under whichever sizing policy the context was built with.
+
+type (
+	// Context owns a dataflow plan and executes actions.
+	Context = rdd.Context
+	// ContextOptions configures a Context.
+	ContextOptions = rdd.Options
+	// Dataset is a typed, lazily evaluated distributed collection.
+	Dataset[T any] = rdd.Dataset[T]
+	// Pair is a key/value record for shuffled transformations.
+	Pair[K comparable, V any] = rdd.Pair[K, V]
+	// JoinedRow is one inner-join match.
+	JoinedRow[A, B any] = rdd.JoinedRow[A, B]
+)
+
+// NewContext returns a dataflow context (ContextOptions.Policy required).
+func NewContext(opts ContextOptions) (*Context, error) { return rdd.NewContext(opts) }
+
+// Parallelize distributes an in-memory slice over partitions.
+func Parallelize[T any](c *Context, data []T, partitions int) *Dataset[T] {
+	return rdd.Parallelize(c, data, partitions)
+}
+
+// TextFile registers lines as a DFS-backed text file; reading it charges
+// real (simulated) disk I/O, and marks its stage as I/O for the static
+// solution.
+func TextFile(c *Context, name string, lines []string, partitions int) *Dataset[string] {
+	return rdd.TextFile(c, name, lines, partitions)
+}
+
+// MapData applies f to every record. (Named MapData to avoid colliding with
+// the builtin map in user code completions; semantics are Spark's map.)
+func MapData[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] { return rdd.Map(d, f) }
+
+// Filter keeps records satisfying pred.
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] { return rdd.Filter(d, pred) }
+
+// FlatMap expands every record into zero or more records.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] { return rdd.FlatMap(d, f) }
+
+// KeyBy turns records into pairs keyed by f.
+func KeyBy[K comparable, T any](d *Dataset[T], f func(T) K) *Dataset[Pair[K, T]] {
+	return rdd.KeyBy(d, f)
+}
+
+// ReduceByKey merges all values of each key (associative, commutative).
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], merge func(V, V) V, partitions int) *Dataset[Pair[K, V]] {
+	return rdd.ReduceByKey(d, merge, partitions)
+}
+
+// GroupByKey gathers all values of each key.
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], partitions int) *Dataset[Pair[K, []V]] {
+	return rdd.GroupByKey(d, partitions)
+}
+
+// InnerJoin joins two keyed datasets on equal keys.
+func InnerJoin[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[Pair[K, B]], partitions int) *Dataset[Pair[K, JoinedRow[A, B]]] {
+	return rdd.Join(left, right, partitions)
+}
+
+// RepartitionByRange shuffles records into range partitions (see Bounds)
+// and sorts each partition, yielding a globally sorted Collect.
+func RepartitionByRange[T any](d *Dataset[T], bounds []T, less func(a, b T) bool) *Dataset[T] {
+	return rdd.RepartitionByRange(d, bounds, less)
+}
+
+// SortWithinPartitions sorts every partition locally.
+func SortWithinPartitions[T any](d *Dataset[T], less func(a, b T) bool) *Dataset[T] {
+	return rdd.SortWithinPartitions(d, less)
+}
+
+// Sample draws ~n records (a Spark-style sample pass for sort bounds).
+func Sample[T any](d *Dataset[T], n int) ([]T, *engine.JobReport, error) { return rdd.Sample(d, n) }
+
+// Bounds derives range-partition upper bounds from a sample.
+func Bounds[T any](sample []T, partitions int, less func(a, b T) bool) []T {
+	return rdd.Bounds(sample, partitions, less)
+}
+
+// Collect materializes the dataset on the driver.
+func Collect[T any](d *Dataset[T]) ([]T, *JobReport, error) { return rdd.Collect(d) }
+
+// CountData returns the number of records.
+func CountData[T any](d *Dataset[T]) (int64, *JobReport, error) { return rdd.Count(d) }
+
+// ReduceData folds all records.
+func ReduceData[T any](d *Dataset[T], merge func(T, T) T) (T, *JobReport, error) {
+	return rdd.Reduce(d, merge)
+}
+
+// SaveAsTextFile writes the dataset to a DFS output file (I/O-marked).
+func SaveAsTextFile[T any](d *Dataset[T], name string, format func(T) string) (*JobReport, error) {
+	return rdd.SaveAsTextFile(d, name, format)
+}
+
+// MapValues transforms values, keeping keys.
+func MapValues[K comparable, V, W any](d *Dataset[Pair[K, V]], f func(V) W) *Dataset[Pair[K, W]] {
+	return rdd.MapValues(d, f)
+}
+
+// Keys projects the keys of a keyed dataset.
+func Keys[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[K] { return rdd.Keys(d) }
+
+// Values projects the values of a keyed dataset.
+func Values[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[V] { return rdd.Values(d) }
+
+// Union concatenates two datasets (no deduplication).
+func Union[T any](a, b *Dataset[T], partitions int) *Dataset[T] { return rdd.Union(a, b, partitions) }
+
+// Distinct removes duplicate records.
+func Distinct[T comparable](d *Dataset[T], partitions int) *Dataset[T] {
+	return rdd.Distinct(d, partitions)
+}
+
+// Take materializes the first n records in partition order.
+func Take[T any](d *Dataset[T], n int) ([]T, *JobReport, error) { return rdd.Take(d, n) }
+
+// CacheData pins the dataset's partitions in memory after first
+// materialization, like Spark's MEMORY_ONLY persist.
+func CacheData[T any](d *Dataset[T]) *Dataset[T] { return rdd.Cache(d) }

@@ -1,0 +1,48 @@
+package sae_test
+
+import (
+	"fmt"
+	"strings"
+
+	"sae"
+)
+
+// Example runs a word count with self-adaptive executors on the simulated
+// cluster. The simulation is deterministic, so the output is stable.
+func Example() {
+	ctx, err := sae.NewContext(sae.ContextOptions{Policy: sae.Adaptive()})
+	if err != nil {
+		panic(err)
+	}
+	text := sae.TextFile(ctx, "docs", []string{
+		"adaptive executors tune threads",
+		"threads contend on disks",
+	}, 2)
+	words := sae.FlatMap(text, func(l string) []string { return strings.Fields(l) })
+	ones := sae.MapData(words, func(w string) sae.Pair[string, int] {
+		return sae.Pair[string, int]{Key: w, Value: 1}
+	})
+	counts := sae.ReduceByKey(ones, func(a, b int) int { return a + b }, 2)
+
+	out, report, err := sae.Collect(counts)
+	if err != nil {
+		panic(err)
+	}
+	total := 0
+	for _, p := range out {
+		total += p.Value
+	}
+	fmt.Println("words:", total, "stages:", len(report.Stages), "policy:", report.Policy)
+	// Output: words: 8 stages: 2 policy: dynamic
+}
+
+// ExampleRun executes the paper's Terasort benchmark under the static
+// solution at reduced scale.
+func ExampleRun() {
+	report, err := sae.Run(sae.DAS5().WithScale(0.1), sae.Terasort(sae.ScaledDown(0.1)), sae.Static(8))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stages:", len(report.Stages), "policy:", report.Policy)
+	// Output: stages: 3 policy: static-8
+}

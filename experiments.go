@@ -1,0 +1,167 @@
+package sae
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sae/internal/exp"
+)
+
+// Experiment identifies one reproducible table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Setup) (fmt.Stringer, error)
+}
+
+// multiResult adapts multi-part experiments to a single Stringer.
+type multiResult []fmt.Stringer
+
+func (m multiResult) String() string {
+	var b strings.Builder
+	for _, r := range m {
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// CSVTables implements exp.Tabular by merging the parts' tables.
+func (m multiResult) CSVTables() map[string][][]string {
+	out := map[string][][]string{}
+	for _, r := range m {
+		if tab, ok := r.(exp.Tabular); ok {
+			for name, rows := range tab.CSVTables() {
+				out[name] = rows
+			}
+		}
+	}
+	return out
+}
+
+// Experiments returns the full per-experiment index, keyed by ID
+// ("table1", "table2", "fig1" … "fig12").
+func Experiments() map[string]Experiment {
+	return map[string]Experiment{
+		"table1": {
+			ID: "table1", Title: "Functional parameters by category",
+			Run: func(Setup) (fmt.Stringer, error) { return exp.Table1(), nil },
+		},
+		"table2": {
+			ID: "table2", Title: "I/O activity relative to input size",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Table2(s) },
+		},
+		"fig1": {
+			ID: "fig1", Title: "Per-stage CPU usage and disk I/O wait",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Figure1(s) },
+		},
+		"fig2": {
+			ID: "fig2", Title: "Static sweep: Terasort and PageRank",
+			Run: func(s Setup) (fmt.Stringer, error) {
+				ts, pr, err := exp.Figure2(s)
+				if err != nil {
+					return nil, err
+				}
+				return multiResult{ts, pr}, nil
+			},
+		},
+		"fig3": {
+			ID: "fig3", Title: "Per-node I/O variability (44 nodes)",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Figure3(s) },
+		},
+		"fig4": {
+			ID: "fig4", Title: "Static sweep: SQL applications",
+			Run: func(s Setup) (fmt.Stringer, error) {
+				agg, join, err := exp.Figure4(s)
+				if err != nil {
+					return nil, err
+				}
+				return multiResult{agg, join}, nil
+			},
+		},
+		"fig5": {
+			ID: "fig5", Title: "Disk utilization across thread counts",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Figure5(s) },
+		},
+		"fig6": {
+			ID: "fig6", Title: "Dynamic thread selection per executor",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Figure6(s) },
+		},
+		"fig7": {
+			ID: "fig7", Title: "ε, µ and ζ vs thread count",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Figure7(s) },
+		},
+		"fig8": {
+			ID: "fig8", Title: "Default vs static-BestFit vs dynamic",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Figure8(s) },
+		},
+		"fig9": {
+			ID: "fig9", Title: "Terasort scalability (4 vs 16 nodes)",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Figure9(s) },
+		},
+		"fig10": {
+			ID: "fig10", Title: "Static sweep on HDD vs SSD",
+			Run: func(s Setup) (fmt.Stringer, error) {
+				hdd, ssd, err := exp.Figure10(s)
+				if err != nil {
+					return nil, err
+				}
+				return multiResult{hdd, ssd}, nil
+			},
+		},
+		"fig11": {
+			ID: "fig11", Title: "Dynamic solution on SSDs",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Figure11(s) },
+		},
+		"fig12": {
+			ID: "fig12", Title: "I/O throughput time series (HDD vs SSD)",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Figure12(s) },
+		},
+		"ablation": {
+			ID: "ablation", Title: "Controller design-choice ablations (§5.2)",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Ablation(s) },
+		},
+		"interference": {
+			ID: "interference", Title: "Co-located tenant mid-run (L4 / outlook extension)",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Interference(s) },
+		},
+	}
+}
+
+// ExperimentIDs lists valid experiment IDs in presentation order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(Experiments()))
+	for id := range Experiments() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		rank := func(s string) (int, int) {
+			if strings.HasPrefix(s, "table") {
+				return 0, int(s[len(s)-1] - '0')
+			}
+			if !strings.HasPrefix(s, "fig") {
+				return 2, 0
+			}
+			var n int
+			fmt.Sscanf(strings.TrimPrefix(s, "fig"), "%d", &n)
+			return 1, n
+		}
+		ci, ni := rank(ids[i])
+		cj, nj := rank(ids[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return ni < nj
+	})
+	return ids
+}
+
+// RunExperiment runs one table/figure by ID and returns its printable
+// result.
+func RunExperiment(id string, s Setup) (fmt.Stringer, error) {
+	e, ok := Experiments()[id]
+	if !ok {
+		return nil, fmt.Errorf("sae: unknown experiment %q (valid: %s)", id, strings.Join(ExperimentIDs(), ", "))
+	}
+	return e.Run(s)
+}

@@ -1,0 +1,216 @@
+// Package conf catalogues the engine's functional configuration surface in
+// the style of Apache Spark 2.4, whose 117 functional parameters the paper
+// counts in Table 1 to motivate self-tuning. Parameters are grouped into
+// the paper's seven categories; a few are genuinely wired into the engine
+// (marked Wired), the rest document the configuration surface a drop-in
+// executor replacement must coexist with.
+package conf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Category is a Table 1 parameter group.
+type Category string
+
+// The paper's Table 1 categories.
+const (
+	Shuffle      Category = "Shuffle"
+	Compression  Category = "Compression and Serialization"
+	Memory       Category = "Memory Management"
+	Execution    Category = "Execution Behavior"
+	Network      Category = "Network"
+	Scheduling   Category = "Scheduling"
+	DynamicAlloc Category = "Dynamic Allocation"
+)
+
+// Categories lists all categories in Table 1 order.
+func Categories() []Category {
+	return []Category{Shuffle, Compression, Memory, Execution, Network, Scheduling, DynamicAlloc}
+}
+
+// Parameter is one functional configuration parameter.
+type Parameter struct {
+	Key      string
+	Category Category
+	Default  string
+	Doc      string
+	// Wired marks parameters the simulation engine actually honours.
+	Wired bool
+}
+
+// Registry is the full parameter catalogue with override values.
+type Registry struct {
+	params map[string]Parameter
+	values map[string]string
+}
+
+// New returns a registry populated with the full catalogue.
+func New() *Registry {
+	r := &Registry{params: make(map[string]Parameter), values: make(map[string]string)}
+	for _, p := range catalogue {
+		if _, dup := r.params[p.Key]; dup {
+			panic(fmt.Sprintf("conf: duplicate parameter %s", p.Key))
+		}
+		r.params[p.Key] = p
+	}
+	return r
+}
+
+// Lookup returns the parameter's definition.
+func (r *Registry) Lookup(key string) (Parameter, bool) {
+	p, ok := r.params[key]
+	return p, ok
+}
+
+// Set overrides a parameter value. Unknown keys are an error, as in Spark's
+// strict configuration validation.
+func (r *Registry) Set(key, value string) error {
+	if _, ok := r.params[key]; !ok {
+		return fmt.Errorf("conf: unknown parameter %q", key)
+	}
+	r.values[key] = value
+	return nil
+}
+
+// Get returns the effective value (override or default).
+func (r *Registry) Get(key string) (string, error) {
+	p, ok := r.params[key]
+	if !ok {
+		return "", fmt.Errorf("conf: unknown parameter %q", key)
+	}
+	if v, ok := r.values[key]; ok {
+		return v, nil
+	}
+	return p.Default, nil
+}
+
+// GetInt returns the effective value parsed as an integer.
+func (r *Registry) GetInt(key string) (int, error) {
+	v, err := r.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("conf: %s = %q is not an integer: %w", key, v, err)
+	}
+	return n, nil
+}
+
+// GetBool returns the effective value parsed as a boolean.
+func (r *Registry) GetBool(key string) (bool, error) {
+	v, err := r.Get(key)
+	if err != nil {
+		return false, err
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("conf: %s = %q is not a boolean: %w", key, v, err)
+	}
+	return b, nil
+}
+
+// Keys returns all parameter keys, sorted.
+func (r *Registry) Keys() []string {
+	keys := make([]string, 0, len(r.params))
+	for k := range r.params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the total number of functional parameters (Table 1: 117).
+func (r *Registry) Len() int { return len(r.params) }
+
+// CountByCategory returns the Table 1 per-category parameter counts.
+func (r *Registry) CountByCategory() map[Category]int {
+	out := make(map[Category]int)
+	for _, p := range r.params {
+		out[p.Category]++
+	}
+	return out
+}
+
+// InCategory returns the parameters of one category, sorted by key.
+func (r *Registry) InCategory(c Category) []Parameter {
+	var out []Parameter
+	for _, p := range r.params {
+		if p.Category == c {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ParseFlag parses a "key=value" assignment.
+func ParseFlag(s string) (key, value string, err error) {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return "", "", fmt.Errorf("conf: malformed assignment %q, want key=value", s)
+	}
+	return k, v, nil
+}
+
+func p(key string, cat Category, def, doc string) Parameter {
+	return Parameter{Key: key, Category: cat, Default: def, Doc: doc}
+}
+
+func wired(key string, cat Category, def, doc string) Parameter {
+	return Parameter{Key: key, Category: cat, Default: def, Doc: doc, Wired: true}
+}
+
+// GetFloat returns the effective value parsed as a float.
+func (r *Registry) GetFloat(key string) (float64, error) {
+	v, err := r.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("conf: %s = %q is not a number: %w", key, v, err)
+	}
+	return f, nil
+}
+
+// GetBytes returns the effective value parsed as a byte size with an
+// optional k/m/g suffix (KiB/MiB/GiB), as Spark size properties.
+func (r *Registry) GetBytes(key string) (int64, error) {
+	v, err := r.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	return ParseBytes(v)
+}
+
+// ParseBytes parses "64", "32k", "128m" or "2g" into bytes.
+func ParseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("conf: empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("conf: bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}
+
+// IsSet reports whether the key has an explicit override.
+func (r *Registry) IsSet(key string) bool {
+	_, ok := r.values[key]
+	return ok
+}

@@ -1,0 +1,131 @@
+// Package core implements the paper's contribution: thread-pool sizing
+// policies for big-data executors.
+//
+//   - Default reproduces stock Spark: one worker thread per virtual core,
+//     fixed for the whole application.
+//   - Static is §4's solution: stages structurally marked as I/O (they read
+//     from or write to the DFS) run with a user-chosen thread count, all
+//     other stages with the default.
+//   - BestFit fixes a per-stage thread count, used to realize the paper's
+//     hypothetical "static BestFit" composed from per-stage sweep optima.
+//   - Dynamic is §5's self-adaptive executor: a MAPE-K feedback loop per
+//     executor that monitors epoll-wait time (ε) and I/O throughput (µ),
+//     analyzes the congestion index ζ = ε/µ, and hill-climbs the pool size
+//     from cmin upward by doubling, rolling back one step the moment
+//     congestion worsens.
+package core
+
+import (
+	"fmt"
+
+	"sae/internal/engine/job"
+)
+
+// Default is stock Spark behaviour: the pool always has MaxThreads (= one
+// thread per virtual core) threads.
+type Default struct{}
+
+// Name implements job.Policy.
+func (Default) Name() string { return "default" }
+
+// InitialThreads implements job.Policy.
+func (Default) InitialThreads(exec job.ExecutorInfo, _ job.StageMeta) int {
+	return exec.MaxThreads
+}
+
+// NewController implements job.Policy.
+func (Default) NewController(exec job.ExecutorInfo) job.Controller {
+	return &fixedController{pick: func(job.StageMeta) int { return exec.MaxThreads }}
+}
+
+var _ job.Policy = Default{}
+
+// Static is the paper's §4 solution: a single operator-chosen thread count
+// for all structurally I/O-marked stages; the default everywhere else. Its
+// five limitations (L1–L5) motivate Dynamic.
+type Static struct {
+	// IOThreads is the user-supplied thread count for I/O stages.
+	IOThreads int
+}
+
+// Name implements job.Policy.
+func (s Static) Name() string { return fmt.Sprintf("static-%d", s.IOThreads) }
+
+// InitialThreads implements job.Policy.
+func (s Static) InitialThreads(exec job.ExecutorInfo, meta job.StageMeta) int {
+	return s.pick(exec, meta)
+}
+
+func (s Static) pick(exec job.ExecutorInfo, meta job.StageMeta) int {
+	if meta.IOMarked && s.IOThreads > 0 {
+		return clamp(s.IOThreads, 1, exec.MaxThreads)
+	}
+	return exec.MaxThreads
+}
+
+// NewController implements job.Policy.
+func (s Static) NewController(exec job.ExecutorInfo) job.Controller {
+	return &fixedController{pick: func(meta job.StageMeta) int { return s.pick(exec, meta) }}
+}
+
+var _ job.Policy = Static{}
+
+// BestFit pins an explicit thread count per stage ID (stages absent from the
+// map use the default). The experiment harness composes it from the
+// per-stage optima of a static sweep, realizing the paper's "static BestFit"
+// comparison bars.
+type BestFit struct {
+	// Threads maps stage ID to thread count.
+	Threads map[int]int
+	// Label overrides the policy name (defaults to "static-bestfit").
+	Label string
+}
+
+// Name implements job.Policy.
+func (b BestFit) Name() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	return "static-bestfit"
+}
+
+// InitialThreads implements job.Policy.
+func (b BestFit) InitialThreads(exec job.ExecutorInfo, meta job.StageMeta) int {
+	if t, ok := b.Threads[meta.ID]; ok && t > 0 {
+		return clamp(t, 1, exec.MaxThreads)
+	}
+	return exec.MaxThreads
+}
+
+// NewController implements job.Policy.
+func (b BestFit) NewController(exec job.ExecutorInfo) job.Controller {
+	return &fixedController{pick: func(meta job.StageMeta) int { return b.InitialThreads(exec, meta) }}
+}
+
+var _ job.Policy = BestFit{}
+
+// fixedController applies a per-stage function and never adapts.
+type fixedController struct {
+	pick      func(job.StageMeta) int
+	threads   int
+	decisions []job.Decision
+}
+
+func (c *fixedController) StageStart(meta job.StageMeta) int {
+	c.threads = c.pick(meta)
+	return c.threads
+}
+
+func (c *fixedController) TaskDone(job.TaskMetrics) (int, bool) { return c.threads, false }
+
+func (c *fixedController) Decisions() []job.Decision { return c.decisions }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

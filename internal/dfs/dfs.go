@@ -1,0 +1,174 @@
+// Package dfs is an HDFS-like distributed file system model: files are split
+// into fixed-size blocks, each replicated on a set of nodes. The engine uses
+// it for data ingestion (with locality-aware reads) and output writing. As
+// in the paper's setup, running with replication equal to the cluster size
+// makes every read node-local.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+
+	"sae/internal/cluster"
+	"sae/internal/sim"
+)
+
+// DefaultBlockSize matches HDFS 2.x (128 MiB).
+const DefaultBlockSize = 128 << 20
+
+// FS is a distributed file system namespace over a cluster.
+type FS struct {
+	cluster   *cluster.Cluster
+	blockSize int64
+	files     map[string]*File
+}
+
+// New creates an empty file system with the given block size (0 selects
+// DefaultBlockSize).
+func New(c *cluster.Cluster, blockSize int64) *FS {
+	if blockSize == 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize < 0 {
+		panic(fmt.Sprintf("dfs: negative block size %d", blockSize))
+	}
+	return &FS{cluster: c, blockSize: blockSize, files: make(map[string]*File)}
+}
+
+// BlockSize returns the file system block size.
+func (fs *FS) BlockSize() int64 { return fs.blockSize }
+
+// File is a stored file with its block layout.
+type File struct {
+	Name   string
+	Size   int64
+	Blocks []Block
+}
+
+// Block is one replicated chunk of a file.
+type Block struct {
+	Index    int
+	Size     int64
+	Replicas []int // node IDs holding a copy
+}
+
+// LocalTo reports whether the block has a replica on node.
+func (b Block) LocalTo(node int) bool {
+	for _, r := range b.Replicas {
+		if r == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Create materializes a file's metadata: size split into blocks, each
+// replicated on `replication` nodes chosen round-robin (HDFS default
+// placement approximated deterministically). It does not charge any I/O —
+// use it for pre-loaded input data.
+func (fs *FS) Create(name string, size int64, replication int) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("dfs: negative size %d for %q", size, name)
+	}
+	n := fs.cluster.Size()
+	if replication <= 0 || replication > n {
+		replication = n
+	}
+	f := &File{Name: name, Size: size}
+	for off, idx := int64(0), 0; off < size; off, idx = off+fs.blockSize, idx+1 {
+		bs := fs.blockSize
+		if rem := size - off; rem < bs {
+			bs = rem
+		}
+		replicas := make([]int, 0, replication)
+		for r := 0; r < replication; r++ {
+			replicas = append(replicas, (idx+r)%n)
+		}
+		sort.Ints(replicas)
+		f.Blocks = append(f.Blocks, Block{Index: idx, Size: bs, Replicas: replicas})
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns the file's metadata.
+func (fs *FS) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether a file exists.
+func (fs *FS) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Remove deletes a file's metadata.
+func (fs *FS) Remove(name string) {
+	delete(fs.files, name)
+}
+
+// Files returns the names of all files, sorted.
+func (fs *FS) Files() []string {
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ReadBlock reads one block from node `reader`, blocking p until the bytes
+// are available. A local replica is served from the node's own disk;
+// otherwise the closest replica's disk is read and the data crosses the
+// network. It reports whether the read was node-local.
+func (fs *FS) ReadBlock(p *sim.Proc, reader int, b Block) (local bool) {
+	if b.LocalTo(reader) {
+		fs.cluster.Node(reader).Disk.Read(p, b.Size)
+		return true
+	}
+	src := b.Replicas[reader%len(b.Replicas)]
+	fs.cluster.Node(src).Disk.Read(p, b.Size)
+	fs.cluster.Transfer(p, src, reader, b.Size)
+	return false
+}
+
+// Write appends bytes to (or creates) an output file from node writer,
+// blocking p for the local disk write. Block metadata is recorded with the
+// writer as primary replica. Replication traffic is not charged: the paper's
+// I/O accounting (Spark task metrics) counts task-level bytes, not HDFS
+// pipeline copies.
+func (fs *FS) Write(p *sim.Proc, writer int, name string, bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("dfs: negative write %d", bytes))
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		f = &File{Name: name}
+		fs.files[name] = f
+	}
+	fs.cluster.Node(writer).Disk.Write(p, bytes)
+	f.Blocks = append(f.Blocks, Block{Index: len(f.Blocks), Size: bytes, Replicas: []int{writer}})
+	f.Size += bytes
+}
+
+// Splits partitions a file's blocks into n contiguous input splits of
+// near-equal block count, one per task, in block order. If the file has
+// fewer blocks than n, some splits are empty.
+func Splits(f *File, n int) [][]Block {
+	if n <= 0 {
+		panic(fmt.Sprintf("dfs: non-positive split count %d", n))
+	}
+	out := make([][]Block, n)
+	for i, b := range f.Blocks {
+		s := i * n / len(f.Blocks)
+		out[s] = append(out[s], b)
+	}
+	return out
+}

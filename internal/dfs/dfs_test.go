@@ -1,0 +1,226 @@
+package dfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sae/internal/cluster"
+	"sae/internal/device"
+	"sae/internal/sim"
+)
+
+func testCluster(k *sim.Kernel, nodes int) *cluster.Cluster {
+	cfg := cluster.DAS5(nodes)
+	cfg.Variability = device.Uniform()
+	return cluster.New(k, cfg)
+}
+
+func TestCreateBlocks(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k, 4)
+	fs := New(c, 100)
+	f, err := fs.Create("in", 250, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(f.Blocks))
+	}
+	if f.Blocks[2].Size != 50 {
+		t.Fatalf("last block size = %d, want 50", f.Blocks[2].Size)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Replicas) != 4 {
+			t.Fatalf("replicas = %d, want 4", len(b.Replicas))
+		}
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(testCluster(k, 2), 0)
+	if _, err := fs.Create("x", 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("x", 10, 1); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(testCluster(k, 2), 0)
+	if _, err := fs.Open("nope"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+}
+
+func TestFullReplicationIsAlwaysLocal(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k, 4)
+	fs := New(c, device.MiB)
+	f, _ := fs.Create("in", 16*device.MiB, 4)
+	for node := 0; node < 4; node++ {
+		for _, b := range f.Blocks {
+			if !b.LocalTo(node) {
+				t.Fatalf("block %d not local to node %d with full replication", b.Index, node)
+			}
+		}
+	}
+}
+
+func TestReadBlockLocalVsRemote(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k, 4)
+	fs := New(c, device.MiB)
+	f, _ := fs.Create("in", 2*device.MiB, 1) // replication 1
+	var local0, local1 bool
+	k.Go("r", func(p *sim.Proc) {
+		local0 = fs.ReadBlock(p, f.Blocks[0].Replicas[0], f.Blocks[0])
+		other := (f.Blocks[0].Replicas[0] + 1) % 4
+		local1 = fs.ReadBlock(p, other, f.Blocks[0])
+	})
+	k.Run()
+	if !local0 {
+		t.Fatal("read on replica node was not local")
+	}
+	if local1 {
+		t.Fatal("read on non-replica node claimed local")
+	}
+}
+
+func TestRemoteReadChargesNetwork(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k, 2)
+	fs := New(c, device.MiB)
+	f, _ := fs.Create("in", device.MiB, 1)
+	src := f.Blocks[0].Replicas[0]
+	dst := 1 - src
+	k.Go("r", func(p *sim.Proc) { fs.ReadBlock(p, dst, f.Blocks[0]) })
+	k.Run()
+	if c.Node(dst).NIC.BytesMoved() != device.MiB {
+		t.Fatalf("NIC moved %d, want %d", c.Node(dst).NIC.BytesMoved(), device.MiB)
+	}
+	r, _ := c.Node(src).Disk.Counters()
+	if r != device.MiB {
+		t.Fatalf("source disk read %d", r)
+	}
+}
+
+func TestWriteCreatesAndAppends(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k, 2)
+	fs := New(c, device.MiB)
+	k.Go("w", func(p *sim.Proc) {
+		fs.Write(p, 0, "out", 100)
+		fs.Write(p, 1, "out", 200)
+	})
+	k.Run()
+	f, err := fs.Open("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size != 300 || len(f.Blocks) != 2 {
+		t.Fatalf("size=%d blocks=%d", f.Size, len(f.Blocks))
+	}
+	_, w := c.Node(0).Disk.Counters()
+	if w != 100 {
+		t.Fatalf("node0 wrote %d", w)
+	}
+}
+
+func TestSplitsCoverAllBlocksInOrder(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(testCluster(k, 4), 10)
+	f, _ := fs.Create("in", 95, 4) // 10 blocks
+	splits := Splits(f, 4)
+	if len(splits) != 4 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	var seen []int
+	for _, s := range splits {
+		for _, b := range s {
+			seen = append(seen, b.Index)
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d blocks, want 10", len(seen))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("blocks out of order: %v", seen)
+		}
+	}
+}
+
+// Property: splits always partition the file regardless of block count and
+// split count, with near-even sizes (max-min ≤ 1 blocks).
+func TestSplitsPartitionProperty(t *testing.T) {
+	f := func(sizeKB uint16, n uint8) bool {
+		k := sim.NewKernel()
+		fs := New(testCluster(k, 3), 4<<10)
+		size := int64(sizeKB)*1024 + 1
+		file, err := fs.Create("f", size, 3)
+		if err != nil {
+			return false
+		}
+		splits := Splits(file, int(n%32)+1)
+		total := 0
+		minLen, maxLen := len(file.Blocks), 0
+		for _, s := range splits {
+			total += len(s)
+			if len(s) < minLen {
+				minLen = len(s)
+			}
+			if len(s) > maxLen {
+				maxLen = len(s)
+			}
+		}
+		if total != len(file.Blocks) {
+			return false
+		}
+		if len(splits) <= len(file.Blocks) && maxLen-minLen > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveExistsFiles(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(testCluster(k, 2), 0)
+	if fs.Exists("a") {
+		t.Fatal("phantom file")
+	}
+	if _, err := fs.Create("a", 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("b", 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("a") {
+		t.Fatal("a missing")
+	}
+	names := fs.Files()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("files = %v", names)
+	}
+	fs.Remove("a")
+	if fs.Exists("a") {
+		t.Fatal("a survived Remove")
+	}
+	if len(fs.Files()) != 1 {
+		t.Fatal("Files out of date")
+	}
+}
+
+func TestBlockSizeDefault(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(testCluster(k, 2), 0)
+	if fs.BlockSize() != DefaultBlockSize {
+		t.Fatalf("block size = %d", fs.BlockSize())
+	}
+}

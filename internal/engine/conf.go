@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fmt"
+
+	"sae/internal/conf"
+)
+
+// ApplyConfig folds the wired parameters of a configuration registry into
+// the engine options, mirroring how the paper's drop-in executor honours
+// the stock Spark configuration surface (Table 1). Only parameters marked
+// Wired in the catalogue — plus the scheduling/speculation group — have an
+// effect; everything else is accepted for compatibility.
+func ApplyConfig(opts *Options, reg *conf.Registry) error {
+	cores, err := reg.GetInt("executor.cores")
+	if err != nil {
+		return err
+	}
+	if cores > 0 {
+		// Virtual cores are SMT pairs over physical cores, as on the
+		// paper's nodes (32 virtual / 16 physical).
+		opts.Cluster.CPU.VirtualCores = cores
+		opts.Cluster.CPU.PhysicalCores = max(1, cores/2)
+	}
+	if opts.BlockSize, err = reg.GetBytes("files.maxPartitionBytes"); err != nil {
+		return err
+	}
+	overhead, err := reg.GetInt("executor.taskOverheadMillis")
+	if err != nil {
+		return err
+	}
+	opts.TaskOverheadCPUSeconds = float64(overhead) / 1000
+	if opts.TaskMaxFailures, err = reg.GetInt("task.maxFailures"); err != nil {
+		return err
+	}
+	if opts.Speculation, err = reg.GetBool("speculation"); err != nil {
+		return err
+	}
+	if opts.SpeculationQuantile, err = reg.GetFloat("speculation.quantile"); err != nil {
+		return err
+	}
+	if opts.SpeculationMultiplier, err = reg.GetFloat("speculation.multiplier"); err != nil {
+		return err
+	}
+	if opts.SpeculationMultiplier <= 1 {
+		return fmt.Errorf("engine: speculation.multiplier must exceed 1, got %v", opts.SpeculationMultiplier)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,353 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sae/internal/cluster"
+	"sae/internal/dfs"
+	"sae/internal/engine/job"
+	"sae/internal/psres"
+	"sae/internal/sim"
+)
+
+// runJob is the driver process: it executes stages in order, assigning
+// tasks to executors with locality preference and keeping a slot table
+// (limit − inflight per executor) that follows the executors' thread-count
+// update messages.
+func (e *Engine) runJob(p *sim.Proc, spec *job.JobSpec) (*JobReport, error) {
+	report := &JobReport{
+		Job:    spec.Name,
+		Policy: e.opts.Policy.Name(),
+	}
+	var startRead, startWrite int64
+	for _, n := range e.cluster.Nodes() {
+		r, w := n.Disk.Counters()
+		startRead += r
+		startWrite += w
+	}
+
+	for _, stage := range spec.Stages {
+		sr, err := e.runStage(p, stage)
+		if err != nil {
+			return nil, fmt.Errorf("job %s stage %d: %w", spec.Name, stage.ID, err)
+		}
+		report.Stages = append(report.Stages, sr)
+	}
+
+	report.Runtime = p.Now()
+	for _, n := range e.cluster.Nodes() {
+		r, w := n.Disk.Counters()
+		report.DiskReadBytes += r
+		report.DiskWriteBytes += w
+		report.NetBytes += n.NIC.BytesMoved()
+	}
+	report.DiskReadBytes -= startRead
+	report.DiskWriteBytes -= startWrite
+	for _, ex := range e.executors {
+		report.Decisions = append(report.Decisions, ex.Decisions())
+		report.ThreadLogs = append(report.ThreadLogs, ex.ThreadLog())
+	}
+	return report, nil
+}
+
+// stageState tracks a running stage at the driver.
+type stageState struct {
+	stage    *job.StageSpec
+	pending  []int // task indices not yet assigned
+	splits   [][]dfs.Block
+	limits   []int
+	inflight []int
+	done     int
+
+	// Speculation bookkeeping.
+	taskDone   []bool
+	launchAt   map[int]time.Duration // first launch per task
+	lastExec   map[int]int           // latest executor per task
+	noExec     map[int]int           // executor to avoid (speculative copies)
+	speculated map[int]bool
+	durations  []time.Duration
+}
+
+func (e *Engine) runStage(p *sim.Proc, stage *job.StageSpec) (StageReport, error) {
+	if err := e.resolveTasks(stage); err != nil {
+		return StageReport{}, err
+	}
+	meta := stage.Meta()
+
+	st := &stageState{
+		stage:      stage,
+		limits:     make([]int, len(e.executors)),
+		inflight:   make([]int, len(e.executors)),
+		taskDone:   make([]bool, stage.NumTasks),
+		launchAt:   make(map[int]time.Duration),
+		lastExec:   make(map[int]int),
+		noExec:     make(map[int]int),
+		speculated: make(map[int]bool),
+	}
+	if stage.InputFile != "" {
+		f, err := e.fs.Open(stage.InputFile)
+		if err != nil {
+			return StageReport{}, err
+		}
+		st.splits = dfs.Splits(f, stage.NumTasks)
+	}
+	for i := 0; i < stage.NumTasks; i++ {
+		st.pending = append(st.pending, i)
+	}
+	for i, ex := range e.executors {
+		st.limits[i] = e.opts.Policy.InitialThreads(ex.info, meta)
+		ex.inbox.Send(e.cluster.ControlLatency(), execMsg{stageStart: &stageStartMsg{stage: stage}})
+	}
+
+	// Stage-boundary snapshots for utilization metrics.
+	start := p.Now()
+	usage0 := make([]cluster.Usage, e.cluster.Size())
+	disk0 := make([]psres.Stats, e.cluster.Size())
+	var read0, write0, net0 int64
+	for i, n := range e.cluster.Nodes() {
+		usage0[i] = n.Usage()
+		disk0[i] = n.Disk.Snapshot()
+		r, w := n.Disk.Counters()
+		read0 += r
+		write0 += w
+		net0 += n.NIC.BytesMoved()
+	}
+
+	stats := make([]ExecutorStageStats, len(e.executors))
+	for i, ex := range e.executors {
+		stats[i] = ExecutorStageStats{
+			Executor:       i,
+			Node:           ex.node.ID,
+			InitialThreads: st.limits[i],
+		}
+	}
+
+	e.trace(TraceEvent{Type: TraceStageStart, Stage: stage.ID, Task: -1, Exec: -1,
+		Detail: fmt.Sprintf("%s (%d tasks)", stage.Name, stage.NumTasks)})
+	for i := range e.executors {
+		e.assign(st, i)
+	}
+
+	// Event loop: drain completions and thread updates until all tasks
+	// are done. Stages with zero tasks complete immediately. Failed
+	// attempts are rescheduled up to TaskMaxFailures times (Spark's
+	// task.maxFailures), preferably on a different executor via the
+	// normal assignment path.
+	attempts := make(map[int]int)
+	var retries, speculative int
+	for st.done < stage.NumTasks {
+		msg := e.toDriver.Recv(p)
+		switch {
+		case msg.taskDone != nil:
+			m := msg.taskDone
+			if m.metrics.Stage != stage.ID {
+				if m.metrics.Stage < stage.ID {
+					// A zombie speculative copy from an earlier
+					// stage finished; its executor slot frees now.
+					continue
+				}
+				return StageReport{}, fmt.Errorf("completion from future stage %d during stage %d", m.metrics.Stage, stage.ID)
+			}
+			if m.err != nil {
+				e.trace(TraceEvent{Type: TraceTaskFail, Stage: stage.ID, Task: m.metrics.Index, Exec: m.exec, Detail: m.err.Error()})
+				attempts[m.metrics.Index]++
+				if attempts[m.metrics.Index] >= e.opts.TaskMaxFailures {
+					return StageReport{}, fmt.Errorf("task %d failed %d times, last on executor %d: %w",
+						m.metrics.Index, attempts[m.metrics.Index], m.exec, m.err)
+				}
+				retries++
+				st.inflight[m.exec]--
+				st.pending = append(st.pending, m.metrics.Index)
+				for i := range e.executors {
+					e.assign(st, (m.exec+1+i)%len(e.executors))
+				}
+				continue
+			}
+			st.inflight[m.exec]--
+			if st.taskDone[m.metrics.Index] {
+				// The other attempt already won the race.
+				e.assign(st, m.exec)
+				continue
+			}
+			st.taskDone[m.metrics.Index] = true
+			st.done++
+			e.trace(TraceEvent{Type: TraceTaskEnd, Stage: stage.ID, Task: m.metrics.Index, Exec: m.exec})
+			st.durations = append(st.durations, m.metrics.Duration())
+			s := &stats[m.exec]
+			s.Tasks++
+			if m.metrics.Local {
+				s.LocalTasks++
+			}
+			s.BlockedIO += m.metrics.BlockedIO
+			s.Bytes += m.metrics.BytesMoved
+			speculative += e.speculate(p, st)
+			e.assign(st, m.exec)
+		case msg.threads != nil:
+			e.trace(TraceEvent{Type: TraceResize, Stage: stage.ID, Task: -1,
+				Exec: msg.threads.exec, Threads: msg.threads.threads})
+			st.limits[msg.threads.exec] = msg.threads.threads
+			e.assign(st, msg.threads.exec)
+		}
+	}
+
+	e.trace(TraceEvent{Type: TraceStageEnd, Stage: stage.ID, Task: -1, Exec: -1})
+	sort.Slice(st.durations, func(i, j int) bool { return st.durations[i] < st.durations[j] })
+	sr := StageReport{
+		ID:       stage.ID,
+		Name:     stage.Name,
+		IOMarked: stage.IOMarked(),
+		Start:    start,
+		End:      p.Now(),
+		Retries:  retries,
+	}
+	sr.Speculative = speculative
+	if n := len(st.durations); n > 0 {
+		sr.TaskP50 = st.durations[n/2]
+		sr.TaskP95 = st.durations[n*95/100]
+		sr.TaskMax = st.durations[n-1]
+	}
+	vcores := e.opts.Cluster.CPU.VirtualCores
+	for i, n := range e.cluster.Nodes() {
+		u := n.Usage()
+		d := n.Disk.Snapshot()
+		sr.CPUPercent += cluster.CPUPercent(usage0[i], u, vcores)
+		sr.IowaitPercent += cluster.IowaitPercent(usage0[i], u, vcores)
+		sr.DiskUtilPercent += cluster.DiskUtilization(disk0[i], d)
+		r, w := n.Disk.Counters()
+		sr.DiskReadBytes += r
+		sr.DiskWriteBytes += w
+		sr.NetBytes += n.NIC.BytesMoved()
+	}
+	nn := float64(e.cluster.Size())
+	sr.CPUPercent /= nn
+	sr.IowaitPercent /= nn
+	sr.DiskUtilPercent /= nn
+	sr.DiskReadBytes -= read0
+	sr.DiskWriteBytes -= write0
+	sr.NetBytes -= net0
+	for i, ex := range e.executors {
+		stats[i].FinalThreads = ex.limit
+		sr.ThreadsTotal += ex.limit
+		sr.MaxThreadsTotal += ex.info.MaxThreads
+	}
+	sr.Execs = stats
+	return sr, nil
+}
+
+// resolveTasks fills in the stage's task count from its input layout.
+func (e *Engine) resolveTasks(stage *job.StageSpec) error {
+	if stage.NumTasks > 0 {
+		return nil
+	}
+	if stage.InputFile == "" {
+		return fmt.Errorf("stage %d has neither tasks nor input", stage.ID)
+	}
+	f, err := e.fs.Open(stage.InputFile)
+	if err != nil {
+		return err
+	}
+	stage.NumTasks = len(f.Blocks)
+	if stage.NumTasks == 0 {
+		stage.NumTasks = 1
+	}
+	return nil
+}
+
+// speculate launches backup copies of stragglers once the stage is mostly
+// done (Spark's speculation): tasks still running past Multiplier× the
+// median completed duration are re-queued for a different executor. Each
+// task is speculated at most once. It returns the number of copies queued.
+func (e *Engine) speculate(p *sim.Proc, st *stageState) int {
+	if !e.opts.Speculation || len(st.durations) == 0 {
+		return 0
+	}
+	if float64(st.done) < e.opts.SpeculationQuantile*float64(st.stage.NumTasks) {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), st.durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	threshold := time.Duration(float64(median) * e.opts.SpeculationMultiplier)
+	launched := 0
+	for task, at := range st.launchAt {
+		if st.taskDone[task] || st.speculated[task] {
+			continue
+		}
+		if p.Now()-at <= threshold {
+			continue
+		}
+		st.speculated[task] = true
+		st.noExec[task] = st.lastExec[task]
+		st.pending = append(st.pending, task)
+		e.trace(TraceEvent{Type: TraceSpeculate, Stage: st.stage.ID, Task: task, Exec: st.lastExec[task]})
+		launched++
+	}
+	if launched > 0 {
+		for i := range e.executors {
+			e.assign(st, i)
+		}
+	}
+	return launched
+}
+
+// assign hands pending tasks to executor i while it has free slots,
+// preferring tasks whose DFS split is local to the executor's node and
+// honouring speculative-copy executor exclusions.
+func (e *Engine) assign(st *stageState, i int) {
+	ex := e.executors[i]
+	for st.inflight[i] < st.limits[i] && len(st.pending) > 0 {
+		pick := -1
+		// First pass: local tasks without an exclusion against i.
+		for j, t := range st.pending {
+			if excl, ok := st.noExec[t]; ok && excl == i {
+				continue
+			}
+			if st.splits != nil {
+				blocks := st.splits[t]
+				if len(blocks) > 0 && !blocks[0].LocalTo(ex.node.ID) {
+					continue
+				}
+			}
+			pick = j
+			break
+		}
+		if pick < 0 {
+			// Second pass: any task not excluded from i.
+			for j, t := range st.pending {
+				if excl, ok := st.noExec[t]; ok && excl == i {
+					continue
+				}
+				pick = j
+				break
+			}
+		}
+		if pick < 0 {
+			return // everything pending is excluded from this executor
+		}
+		task := st.pending[pick]
+		st.pending = append(st.pending[:pick], st.pending[pick+1:]...)
+		st.inflight[i]++
+		if _, seen := st.launchAt[task]; !seen {
+			st.launchAt[task] = e.k.Now()
+		}
+		st.lastExec[task] = i
+		e.trace(TraceEvent{Type: TraceTaskLaunch, Stage: st.stage.ID, Task: task, Exec: i})
+
+		lm := &launchMsg{stage: st.stage, index: task}
+		if st.splits != nil {
+			lm.blocks = st.splits[task]
+			for _, b := range lm.blocks {
+				lm.inputTotal += b.Size
+			}
+		}
+		if len(st.stage.ShuffleFrom) > 0 {
+			lm.segments = e.shuffle.reducePlan(st.stage.ShuffleFrom, st.stage.NumTasks, task)
+			for _, s := range lm.segments {
+				lm.inputTotal += s.bytes
+			}
+		}
+		ex.inbox.Send(e.cluster.ControlLatency(), execMsg{launch: lm})
+	}
+}

@@ -1,0 +1,174 @@
+// Package engine is the mini dataflow engine the adaptive executors plug
+// into: a driver with a stage-ordered task scheduler, per-node executors
+// with resizable worker pools, an HDFS-like input layer and a shuffle
+// subsystem, all running on the deterministic cluster simulator. It
+// reproduces the Spark mechanics the paper modifies — per-stage task waves,
+// slot accounting in the driver, and the executor→scheduler thread-count
+// update protocol.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sae/internal/cluster"
+	"sae/internal/dfs"
+	"sae/internal/engine/job"
+	"sae/internal/sim"
+)
+
+// Input declares a pre-loaded DFS input file.
+type Input struct {
+	Name string
+	Size int64
+}
+
+// Options configures a single job run.
+type Options struct {
+	// Cluster describes the simulated hardware.
+	Cluster cluster.Config
+	// BlockSize is the DFS block size (0 = 128 MiB).
+	BlockSize int64
+	// Replication is the DFS replication factor (0 = all nodes, the
+	// paper's locality-maximizing setup).
+	Replication int
+	// Policy sizes executor thread pools. Required.
+	Policy job.Policy
+	// TaskOverheadCPUSeconds is each task's launch overhead (negative
+	// disables; 0 selects the default 20ms).
+	TaskOverheadCPUSeconds float64
+	// TaskMaxFailures is how many attempts a task gets before the job
+	// aborts, as Spark's task.maxFailures (0 selects 4).
+	TaskMaxFailures int
+	// Speculation enables speculative execution: once
+	// SpeculationQuantile of a stage's tasks have finished, stragglers
+	// running longer than SpeculationMultiplier× the median task
+	// duration get a backup copy on another executor; the first
+	// completion wins (Spark's spark.speculation).
+	Speculation           bool
+	SpeculationQuantile   float64 // 0 selects 0.75
+	SpeculationMultiplier float64 // 0 selects 1.5
+	// Inputs are created in the DFS before the job starts.
+	Inputs []Input
+	// OnSetup, if set, runs after the engine is assembled and before the
+	// simulation starts — use it to attach samplers.
+	OnSetup func(e *Engine)
+	// Trace, if set, receives the engine's event log as JSON lines (the
+	// Spark event-log analogue; see TraceEvent and ReadTrace).
+	Trace io.Writer
+}
+
+// Engine wires the simulated cluster, DFS, shuffle registry and executors
+// for one job run.
+type Engine struct {
+	k         *sim.Kernel
+	opts      Options
+	cluster   *cluster.Cluster
+	fs        *dfs.FS
+	shuffle   *shuffleRegistry
+	executors []*Executor
+	toDriver  *sim.Mailbox[driverMsg]
+	sink      *traceSink
+	done      bool
+}
+
+// Run executes spec on a fresh simulated cluster and returns its report.
+func Run(opts Options, spec *job.JobSpec) (*JobReport, error) {
+	if opts.Policy == nil {
+		return nil, errors.New("engine: Options.Policy is required")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.TaskOverheadCPUSeconds == 0 {
+		opts.TaskOverheadCPUSeconds = 0.02
+	} else if opts.TaskOverheadCPUSeconds < 0 {
+		opts.TaskOverheadCPUSeconds = 0
+	}
+	if opts.TaskMaxFailures <= 0 {
+		opts.TaskMaxFailures = 4
+	}
+	if opts.SpeculationQuantile <= 0 || opts.SpeculationQuantile > 1 {
+		opts.SpeculationQuantile = 0.75
+	}
+	if opts.SpeculationMultiplier <= 1 {
+		opts.SpeculationMultiplier = 1.5
+	}
+
+	k := sim.NewKernel()
+	e := &Engine{
+		k:        k,
+		opts:     opts,
+		cluster:  cluster.New(k, opts.Cluster),
+		shuffle:  newShuffleRegistry(),
+		toDriver: sim.NewMailbox[driverMsg](k),
+	}
+	e.sink = newTraceSink(opts.Trace)
+	e.fs = dfs.New(e.cluster, opts.BlockSize)
+	for _, in := range opts.Inputs {
+		if _, err := e.fs.Create(in.Name, in.Size, opts.Replication); err != nil {
+			return nil, fmt.Errorf("engine: create input: %w", err)
+		}
+	}
+	for i, node := range e.cluster.Nodes() {
+		ex := newExecutor(e, i, node, opts.Policy)
+		e.executors = append(e.executors, ex)
+		k.Go(fmt.Sprintf("executor-%d", i), ex.main)
+	}
+
+	var report *JobReport
+	var runErr error
+	k.Go("driver", func(p *sim.Proc) {
+		report, runErr = e.runJob(p, spec)
+		e.done = true
+	})
+	if opts.OnSetup != nil {
+		opts.OnSetup(e)
+	}
+	k.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if report == nil {
+		return nil, errors.New("engine: job did not complete")
+	}
+	if err := e.sink.flushErr(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// Kernel returns the simulation kernel.
+func (e *Engine) Kernel() *sim.Kernel { return e.k }
+
+// Cluster returns the simulated cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// FS returns the distributed file system.
+func (e *Engine) FS() *dfs.FS { return e.fs }
+
+// Executors returns the engine's executors, one per node.
+func (e *Engine) Executors() []*Executor { return e.executors }
+
+// Done reports whether the job has finished (for sampler processes).
+func (e *Engine) Done() bool { return e.done }
+
+// InjectDiskInterference starts `streams` background readers hammering
+// node's disk with chunk-sized reads from `from` until the job completes —
+// a co-located tenant, in the paper's L4 terms. Call from Options.OnSetup.
+func (e *Engine) InjectDiskInterference(node int, from time.Duration, streams int, chunk int64) {
+	if chunk <= 0 {
+		chunk = 32 << 20
+	}
+	disk := e.cluster.Node(node).Disk
+	for i := 0; i < streams; i++ {
+		e.k.Go(fmt.Sprintf("interference-%d-%d", node, i), func(p *sim.Proc) {
+			p.Sleep(from)
+			for !e.done {
+				disk.Read(p, chunk)
+			}
+		})
+	}
+}

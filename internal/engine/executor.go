@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"time"
+
+	"sae/internal/cluster"
+	"sae/internal/dfs"
+	"sae/internal/engine/job"
+	"sae/internal/sim"
+)
+
+// Executor runs tasks on one node with a resizable worker pool, mirroring
+// the paper's drop-in Spark executor replacement. The pool limit is set by
+// the sizing policy's controller; when the controller resizes it, the
+// executor applies the change locally (the paper's setMaximumPoolSize) and
+// notifies the driver so its slot table follows (the paper's messaging
+// protocol extension). Tasks assigned beyond the current limit — e.g. ones
+// already in flight from the driver when the pool shrank — wait in a local
+// queue, exactly the integrity concern §5.3 discusses.
+type Executor struct {
+	id   int
+	node *cluster.Node
+	eng  *Engine
+	info job.ExecutorInfo
+	ctrl job.Controller
+
+	inbox *sim.Mailbox[execMsg]
+
+	stage   *job.StageSpec
+	limit   int
+	running int
+	queue   []*launchMsg
+
+	threadLog  []ThreadChange
+	cumBytes   int64
+	totalTasks int
+}
+
+// execMsg is a driver→executor control message (exactly one field set).
+type execMsg struct {
+	stageStart *stageStartMsg
+	launch     *launchMsg
+}
+
+type stageStartMsg struct {
+	stage *job.StageSpec
+}
+
+// launchMsg carries one task assignment with its input plan.
+type launchMsg struct {
+	stage      *job.StageSpec
+	index      int
+	blocks     []dfs.Block
+	segments   []segment
+	inputTotal int64
+}
+
+// driverMsg is an executor→driver message (exactly one field set).
+type driverMsg struct {
+	taskDone *taskDoneMsg
+	threads  *threadsMsg
+}
+
+type taskDoneMsg struct {
+	exec    int
+	metrics job.TaskMetrics
+	err     error
+}
+
+// threadsMsg is the paper's ThreadCountUpdate: the executor informs the
+// scheduler of its new pool size.
+type threadsMsg struct {
+	exec    int
+	threads int
+}
+
+// ThreadChange records one pool-size change for reporting (Fig. 6).
+type ThreadChange struct {
+	At      time.Duration
+	Stage   int
+	Threads int
+}
+
+func newExecutor(eng *Engine, id int, node *cluster.Node, policy job.Policy) *Executor {
+	info := job.ExecutorInfo{
+		ID:         id,
+		Node:       node.ID,
+		MaxThreads: node.CPU.Spec().VirtualCores,
+	}
+	return &Executor{
+		id:    id,
+		node:  node,
+		eng:   eng,
+		info:  info,
+		ctrl:  policy.NewController(info),
+		inbox: sim.NewMailbox[execMsg](eng.k),
+		limit: info.MaxThreads,
+	}
+}
+
+// ID returns the executor's ID.
+func (ex *Executor) ID() int { return ex.id }
+
+// Node returns the node the executor runs on.
+func (ex *Executor) Node() *cluster.Node { return ex.node }
+
+// Threads returns the current pool limit.
+func (ex *Executor) Threads() int { return ex.limit }
+
+// CumulativeBytes returns the total bytes all tasks of this executor have
+// moved so far — the quantity the throughput sampler differentiates for the
+// Fig. 12 time series.
+func (ex *Executor) CumulativeBytes() int64 { return ex.cumBytes }
+
+// ThreadLog returns the pool-size change history.
+func (ex *Executor) ThreadLog() []ThreadChange { return ex.threadLog }
+
+// Decisions returns the controller's decision log.
+func (ex *Executor) Decisions() []job.Decision { return ex.ctrl.Decisions() }
+
+// main is the executor's control loop process.
+func (ex *Executor) main(p *sim.Proc) {
+	for {
+		msg := ex.inbox.Recv(p)
+		switch {
+		case msg.stageStart != nil:
+			ex.stage = msg.stageStart.stage
+			n := ex.ctrl.StageStart(ex.stage.Meta())
+			ex.setLimit(n)
+			ex.drain()
+		case msg.launch != nil:
+			if ex.running < ex.limit {
+				ex.start(msg.launch)
+			} else {
+				ex.queue = append(ex.queue, msg.launch)
+			}
+		}
+	}
+}
+
+func (ex *Executor) setLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n == ex.limit && len(ex.threadLog) > 0 {
+		return
+	}
+	ex.limit = n
+	stage := -1
+	if ex.stage != nil {
+		stage = ex.stage.ID
+	}
+	ex.threadLog = append(ex.threadLog, ThreadChange{At: ex.eng.k.Now(), Stage: stage, Threads: n})
+}
+
+// start launches one task as its own process.
+func (ex *Executor) start(lm *launchMsg) {
+	ex.running++
+	ex.eng.k.Go("task", func(p *sim.Proc) {
+		tc := &taskContext{
+			eng:        ex.eng,
+			p:          p,
+			ex:         ex,
+			stage:      lm.stage,
+			index:      lm.index,
+			blocks:     lm.blocks,
+			segments:   lm.segments,
+			inputTotal: lm.inputTotal,
+			allLocal:   true,
+		}
+		var work job.Work = job.AnalyticWork{}
+		if lm.stage.Work != nil {
+			work = lm.stage.Work(lm.index)
+		}
+		tm, err := tc.run(work)
+		ex.running--
+		ex.totalTasks++
+		ex.cumBytes += tm.BytesMoved
+
+		// Failed attempts carry no usable monitor signal; only
+		// successful completions feed the MAPE-K loop.
+		threads, changed := ex.limit, false
+		if err == nil {
+			threads, changed = ex.ctrl.TaskDone(tm)
+		}
+		if changed {
+			ex.setLimit(threads)
+			ex.eng.toDriver.Send(ex.eng.cluster.ControlLatency(), driverMsg{
+				threads: &threadsMsg{exec: ex.id, threads: threads},
+			})
+		}
+		ex.eng.toDriver.Send(ex.eng.cluster.ControlLatency(), driverMsg{
+			taskDone: &taskDoneMsg{exec: ex.id, metrics: tm, err: err},
+		})
+		ex.drain()
+	})
+}
+
+// drain starts queued tasks while slots are free.
+func (ex *Executor) drain() {
+	for ex.running < ex.limit && len(ex.queue) > 0 {
+		lm := ex.queue[0]
+		ex.queue = ex.queue[1:]
+		ex.start(lm)
+	}
+}

@@ -1,0 +1,307 @@
+// Package job defines the engine's logical job model — stages, task work and
+// the sizing-policy contract between executors and the adaptive core. A job
+// is a linear-or-DAG sequence of stages; each stage fans out into tasks that
+// read input (DFS splits or upstream shuffle output), compute, and write
+// (shuffle or DFS output). Task work is either *analytic* (cost-bearing byte
+// and CPU budgets, used for paper-scale experiments) or a real closure
+// supplied by the RDD layer.
+package job
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sae/internal/metrics"
+)
+
+// StageSpec describes one stage of a job.
+type StageSpec struct {
+	// ID is the stage's index within the job; stages run in ID order and
+	// stage i may consume shuffle output of any earlier stage.
+	ID int
+	// Name labels the stage in reports (e.g. "ingest", "shuffle-1").
+	Name string
+	// NumTasks is the stage's task count. If zero and InputFile is set,
+	// the engine uses one task per DFS block.
+	NumTasks int
+
+	// InputFile names a DFS file the stage reads, split across tasks.
+	InputFile string
+	// ShuffleFrom lists earlier stage IDs whose shuffle output this
+	// stage fetches (all partitions destined for each reduce task).
+	ShuffleFrom []int
+
+	// CPUSecondsPerTask is the single-core compute demand of each task,
+	// interleaved with its I/O.
+	CPUSecondsPerTask float64
+	// MemPressure inflates per-task CPU demand with executor
+	// concurrency: a task computing while n pool threads are running
+	// costs ×(1 + MemPressure·(n−1)/(vcores−1)). It models the
+	// super-linear JVM costs of wide executors — GC pressure, memory
+	// bandwidth contention, cache thrash — that make memory-hungry
+	// stages (e.g. PageRank iterations over a cached graph) genuinely
+	// cheaper per task at smaller pool sizes.
+	MemPressure float64
+	// SpillPressure adds concurrency-dependent spill I/O: with n pool
+	// threads running, each processed chunk spills an extra
+	// SpillPressure·((n−1)/(vcores−1))² of its volume to local disk and
+	// merges it back. It models Spark's buffer spilling when per-task
+	// memory shrinks with pool width — §3's observation that
+	// transformations spill "to reduce memory pressure" is a large part
+	// of Table 2's I/O amplification. The quadratic shape reflects
+	// multi-pass spilling: half the buffer budget doubles the number of
+	// spill files AND the merge fan-in.
+	SpillPressure float64
+
+	// ShuffleWriteBytes is the stage's total map-output volume, spilled
+	// to local disk and registered for downstream fetch.
+	ShuffleWriteBytes int64
+	// OutputFile, if set, receives OutputBytes of DFS output.
+	OutputFile  string
+	OutputBytes int64
+	// SQLSink marks output written through a SQL-style sink (e.g. an
+	// INSERT) rather than an explicit save action; such stages write to
+	// the DFS but carry no structural I/O marker the static solution
+	// could see (limitation L2, observed on the paper's SQL workloads).
+	SQLSink bool
+
+	// Work, if non-nil, supplies real task work (RDD layer); otherwise
+	// the executor runs the analytic cost model above.
+	Work func(task int) Work
+}
+
+// IOMarked reports whether the static solution considers this stage
+// I/O-intensive: it explicitly reads from or writes to the DFS (the paper's
+// textFile/saveAsTextFile marking). Shuffle-only stages are NOT marked —
+// that is exactly limitation L2 of the static approach.
+func (s *StageSpec) IOMarked() bool {
+	return s.InputFile != "" || (s.OutputFile != "" && !s.SQLSink)
+}
+
+// Meta returns the stage's policy-visible metadata.
+func (s *StageSpec) Meta() StageMeta {
+	return StageMeta{ID: s.ID, Name: s.Name, NumTasks: s.NumTasks, IOMarked: s.IOMarked()}
+}
+
+// JobSpec is an ordered set of stages.
+type JobSpec struct {
+	Name   string
+	Stages []*StageSpec
+}
+
+// Validate checks structural invariants: contiguous IDs, positive task
+// counts (or DFS-derived), and shuffle edges that point backwards only.
+func (j *JobSpec) Validate() error {
+	if len(j.Stages) == 0 {
+		return errors.New("job: no stages")
+	}
+	for i, s := range j.Stages {
+		if s.ID != i {
+			return fmt.Errorf("job %s: stage %d has ID %d, want contiguous IDs", j.Name, i, s.ID)
+		}
+		if s.NumTasks <= 0 && s.InputFile == "" {
+			return fmt.Errorf("job %s: stage %d has no tasks and no input file", j.Name, i)
+		}
+		if s.NumTasks < 0 {
+			return fmt.Errorf("job %s: stage %d has negative task count", j.Name, i)
+		}
+		for _, from := range s.ShuffleFrom {
+			if from < 0 || from >= i {
+				return fmt.Errorf("job %s: stage %d shuffles from invalid stage %d", j.Name, i, from)
+			}
+			if j.Stages[from].ShuffleWriteBytes <= 0 && j.Stages[from].Work == nil {
+				return fmt.Errorf("job %s: stage %d shuffles from stage %d which writes no shuffle data", j.Name, i, from)
+			}
+		}
+		if s.CPUSecondsPerTask < 0 || s.ShuffleWriteBytes < 0 || s.OutputBytes < 0 {
+			return fmt.Errorf("job %s: stage %d has negative demands", j.Name, i)
+		}
+		if s.OutputBytes > 0 && s.OutputFile == "" {
+			return fmt.Errorf("job %s: stage %d writes output bytes without an output file", j.Name, i)
+		}
+	}
+	return nil
+}
+
+// TaskContext is the executor-provided environment a task's Work runs in.
+// All methods charge the owning node's simulated devices and account ε/µ.
+type TaskContext interface {
+	// Node returns the ID of the node the task runs on.
+	Node() int
+	// Executor returns the ID of the owning executor.
+	Executor() int
+	// Stage returns the stage being executed.
+	Stage() *StageSpec
+	// Index returns the task index within the stage.
+	Index() int
+	// InputBytes returns the total input volume assigned to this task
+	// (DFS split size plus pending shuffle fetch).
+	InputBytes() int64
+	// ReadInput consumes up to max bytes of the task's remaining input,
+	// blocking for disk/network time. It returns the bytes actually
+	// read; 0 means the input is exhausted.
+	ReadInput(max int64) int64
+	// Compute burns seconds of single-core CPU time.
+	Compute(seconds float64)
+	// WriteShuffle spills bytes of map output to the local disk.
+	WriteShuffle(bytes int64)
+	// WriteOutput writes bytes to the stage's DFS output file.
+	WriteOutput(bytes int64)
+	// Spill writes bytes of temporary data to the local disk and merges
+	// them back (write + read), modelling buffer spills.
+	Spill(bytes int64)
+	// Concurrency returns the number of tasks currently running on the
+	// owning executor (including this one).
+	Concurrency() int
+	// VirtualCores returns the node's virtual core count (cmax).
+	VirtualCores() int
+}
+
+// Work is a unit of task execution.
+type Work interface {
+	Execute(tc TaskContext) error
+}
+
+// WorkFunc adapts a function to Work.
+type WorkFunc func(tc TaskContext) error
+
+// Execute implements Work.
+func (f WorkFunc) Execute(tc TaskContext) error { return f(tc) }
+
+// ChunkBytes is the granularity at which the analytic cost model interleaves
+// I/O and compute — roughly a Spark task's buffer/spill unit.
+const ChunkBytes = 32 << 20
+
+// AnalyticWork runs a task from its stage's cost parameters: input is read
+// in chunks with compute interleaved proportionally, and shuffle/DFS output
+// written likewise. This reproduces the alternating CPU↔I/O pattern that
+// makes thread-count tuning matter: too few threads leave the disk idle
+// during compute phases, too many thrash it.
+type AnalyticWork struct{}
+
+// Execute implements Work.
+func (AnalyticWork) Execute(tc TaskContext) error {
+	s := tc.Stage()
+	in := tc.InputBytes()
+	shuffleOut := perTask(s.ShuffleWriteBytes, s.NumTasks, tc.Index())
+	fileOut := perTask(s.OutputBytes, s.NumTasks, tc.Index())
+	total := in
+	if shuffleOut+fileOut > total {
+		total = shuffleOut + fileOut
+	}
+	chunks := int((total + ChunkBytes - 1) / ChunkBytes)
+	if chunks < 1 {
+		chunks = 1
+	}
+	cpuPer := s.CPUSecondsPerTask / float64(chunks)
+	for i := 0; i < chunks; i++ {
+		got := tc.ReadInput(chunkShare(in, chunks, i))
+		tc.Compute(cpuPer)
+		if s.SpillPressure > 0 && tc.VirtualCores() > 1 {
+			x := float64(tc.Concurrency()-1) / float64(tc.VirtualCores()-1)
+			tc.Spill(int64(float64(got+chunkShare(shuffleOut, chunks, i)) * s.SpillPressure * x * x))
+		}
+		tc.WriteShuffle(chunkShare(shuffleOut, chunks, i))
+		tc.WriteOutput(chunkShare(fileOut, chunks, i))
+	}
+	return nil
+}
+
+// perTask divides a stage-total volume evenly across tasks, giving earlier
+// tasks the remainder so totals are exact.
+func perTask(total int64, numTasks, idx int) int64 {
+	if numTasks <= 0 {
+		return 0
+	}
+	base := total / int64(numTasks)
+	if int64(idx) < total%int64(numTasks) {
+		base++
+	}
+	return base
+}
+
+// chunkShare divides a task-total volume across chunks exactly.
+func chunkShare(total int64, chunks, idx int) int64 {
+	base := total / int64(chunks)
+	if int64(idx) < total%int64(chunks) {
+		base++
+	}
+	return base
+}
+
+// StageMeta is the policy-visible description of a stage.
+type StageMeta struct {
+	ID       int
+	Name     string
+	NumTasks int
+	// IOMarked is the static solution's structural I/O signal.
+	IOMarked bool
+}
+
+// TaskMetrics reports one completed task to the sizing policy and driver.
+type TaskMetrics struct {
+	Stage, Index int
+	Start, End   time.Duration
+	// BlockedIO is the task's ε contribution: virtual time spent waiting
+	// on disk or network completions.
+	BlockedIO time.Duration
+	// BytesMoved is the task's µ contribution: all bytes it read or
+	// wrote on any device.
+	BytesMoved int64
+	// DiskBusyFrac is the node disk's busy fraction over the task's
+	// lifetime (the iostat %util analogue, used by the utilization-
+	// driven ablation controller).
+	DiskBusyFrac float64
+	// Local reports whether all DFS reads were node-local.
+	Local bool
+}
+
+// Duration returns the task's wall time.
+func (tm TaskMetrics) Duration() time.Duration { return tm.End - tm.Start }
+
+// ExecutorInfo describes an executor to a sizing policy.
+type ExecutorInfo struct {
+	ID int
+	// Node is the node the executor runs on.
+	Node int
+	// MaxThreads is cmax: the number of virtual cores.
+	MaxThreads int
+}
+
+// Decision records one thread-count choice for analysis and reporting.
+type Decision struct {
+	At       time.Duration
+	Stage    int
+	Threads  int
+	Interval metrics.Interval
+	Reason   string
+}
+
+// Controller sizes one executor's thread pool. Methods are invoked from
+// simulation context in deterministic order.
+type Controller interface {
+	// StageStart resets per-stage state and returns the initial thread
+	// count for the stage.
+	StageStart(meta StageMeta) int
+	// TaskDone feeds one completed task's measurements to the
+	// controller; it returns the (possibly new) thread count and whether
+	// it changed.
+	TaskDone(tm TaskMetrics) (threads int, changed bool)
+	// Decisions returns the decision log.
+	Decisions() []Decision
+}
+
+// Policy creates per-executor controllers. Implementations live in
+// internal/core (the paper's contribution).
+type Policy interface {
+	// Name identifies the policy in reports ("default", "static",
+	// "static-bestfit", "dynamic").
+	Name() string
+	// NewController returns a controller for one executor.
+	NewController(exec ExecutorInfo) Controller
+	// InitialThreads mirrors the controller's StageStart value so the
+	// driver can size its slot table before the executor reacts; it must
+	// be consistent with the controller.
+	InitialThreads(exec ExecutorInfo, meta StageMeta) int
+}

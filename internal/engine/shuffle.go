@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// shuffleRegistry tracks map-output placement, like Spark's
+// MapOutputTracker: each completed map task registers how many bytes of
+// shuffle data it spilled on which node; reduce tasks of downstream stages
+// fetch their share from each source node.
+type shuffleRegistry struct {
+	// perNode[stage][node] is the total map-output bytes stage left on node.
+	perNode map[int]map[int]int64
+	total   map[int]int64
+}
+
+func newShuffleRegistry() *shuffleRegistry {
+	return &shuffleRegistry{perNode: make(map[int]map[int]int64), total: make(map[int]int64)}
+}
+
+// addMapOutput registers bytes of stage's shuffle output spilled on node.
+func (r *shuffleRegistry) addMapOutput(stage, node int, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	m := r.perNode[stage]
+	if m == nil {
+		m = make(map[int]int64)
+		r.perNode[stage] = m
+	}
+	m[node] += bytes
+	r.total[stage] += bytes
+}
+
+// totalBytes returns stage's total registered shuffle output.
+func (r *shuffleRegistry) totalBytes(stage int) int64 { return r.total[stage] }
+
+// segment is one reduce-side fetch from a source node.
+type segment struct {
+	node  int
+	bytes int64
+}
+
+// reducePlan returns the per-source-node fetch plan for reduce task idx of
+// numTasks, pulling from the given upstream stages. Shares divide evenly
+// with remainders to the lowest task indices, and segments are ordered by
+// node for determinism.
+func (r *shuffleRegistry) reducePlan(from []int, numTasks, idx int) []segment {
+	if numTasks <= 0 {
+		panic(fmt.Sprintf("engine: reducePlan with %d tasks", numTasks))
+	}
+	byNode := make(map[int]int64)
+	for _, st := range from {
+		for node, bytes := range r.perNode[st] {
+			base := bytes / int64(numTasks)
+			if int64(idx) < bytes%int64(numTasks) {
+				base++
+			}
+			byNode[node] += base
+		}
+	}
+	nodes := make([]int, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	plan := make([]segment, 0, len(nodes))
+	for _, n := range nodes {
+		if byNode[n] > 0 {
+			plan = append(plan, segment{node: n, bytes: byNode[n]})
+		}
+	}
+	return plan
+}

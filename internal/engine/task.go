@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"time"
+
+	"sae/internal/dfs"
+	"sae/internal/engine/job"
+	"sae/internal/sim"
+)
+
+// taskContext implements job.TaskContext: it executes one task's I/O and
+// compute against the owning node's simulated devices and accounts the
+// monitor's raw inputs.
+//
+// ε accounting: each disk operation contributes its elapsed time scaled by
+// the device's contention factor at issue (device.DiskSpec.Overload). At or
+// below the device's best operating point, readahead and command queuing
+// hide service latency from the application — read() returns from cache —
+// so epoll-style blocked time is the contention-induced share of the wait.
+// This is what makes ε grow steeply with thread count on saturated HDDs
+// (Fig. 7) while staying near zero on SSDs (§6.3) and on CPU-heavy stages.
+type taskContext struct {
+	eng   *Engine
+	p     *sim.Proc
+	ex    *Executor
+	stage *job.StageSpec
+	index int
+
+	// input plan
+	blocks   []dfs.Block // remaining DFS blocks (first partially consumed)
+	blockOff int64       // bytes already consumed of blocks[0]
+	segments []segment   // remaining shuffle fetch segments
+	segOff   int64
+
+	inputTotal int64
+
+	// accounting
+	blockedIO    time.Duration
+	bytesMoved   int64
+	shuffleOut   int64
+	allLocal     bool
+	computeSpent float64
+}
+
+var _ job.TaskContext = (*taskContext)(nil)
+
+func (tc *taskContext) Node() int             { return tc.ex.node.ID }
+func (tc *taskContext) Executor() int         { return tc.ex.id }
+func (tc *taskContext) Stage() *job.StageSpec { return tc.stage }
+func (tc *taskContext) Index() int            { return tc.index }
+func (tc *taskContext) InputBytes() int64     { return tc.inputTotal }
+
+// diskRead reads bytes from node's disk, attributing contention wait to ε.
+func (tc *taskContext) diskRead(node int, bytes int64) {
+	d := tc.eng.cluster.Node(node).Disk
+	ov := d.OverloadAhead()
+	t0 := tc.p.Now()
+	d.Read(tc.p, bytes)
+	tc.blockedIO += time.Duration(float64(tc.p.Now()-t0) * ov)
+}
+
+// diskWrite writes bytes to node's disk, attributing contention wait to ε.
+func (tc *taskContext) diskWrite(node int, bytes int64) {
+	d := tc.eng.cluster.Node(node).Disk
+	ov := d.OverloadAhead()
+	t0 := tc.p.Now()
+	d.Write(tc.p, bytes)
+	tc.blockedIO += time.Duration(float64(tc.p.Now()-t0) * ov)
+}
+
+// ReadInput implements job.TaskContext: consume up to max bytes of the
+// task's DFS split, then of its shuffle fetch plan.
+func (tc *taskContext) ReadInput(max int64) int64 {
+	if max <= 0 {
+		return 0
+	}
+	var read int64
+	for read < max && len(tc.blocks) > 0 {
+		b := tc.blocks[0]
+		n := b.Size - tc.blockOff
+		if budget := max - read; n > budget {
+			n = budget
+		}
+		if b.LocalTo(tc.ex.node.ID) {
+			tc.diskRead(tc.ex.node.ID, n)
+		} else {
+			tc.allLocal = false
+			src := b.Replicas[tc.ex.node.ID%len(b.Replicas)]
+			tc.diskRead(src, n)
+			tc.eng.cluster.Transfer(tc.p, src, tc.ex.node.ID, n)
+		}
+		read += n
+		tc.blockOff += n
+		if tc.blockOff >= b.Size {
+			tc.blocks = tc.blocks[1:]
+			tc.blockOff = 0
+		}
+	}
+	for read < max && len(tc.segments) > 0 {
+		s := tc.segments[0]
+		n := s.bytes - tc.segOff
+		if budget := max - read; n > budget {
+			n = budget
+		}
+		// Shuffle fetch: the map output is read from the source node's
+		// disk; remote segments additionally cross the network
+		// (Spark's shuffle block fetch).
+		tc.diskRead(s.node, n)
+		tc.eng.cluster.Transfer(tc.p, s.node, tc.ex.node.ID, n)
+		read += n
+		tc.segOff += n
+		if tc.segOff >= s.bytes {
+			tc.segments = tc.segments[1:]
+			tc.segOff = 0
+		}
+	}
+	tc.bytesMoved += read
+	return read
+}
+
+// Compute implements job.TaskContext. Memory pressure inflates the charge
+// with the executor's current concurrency (see job.StageSpec.MemPressure).
+func (tc *taskContext) Compute(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	if mp := tc.stage.MemPressure; mp > 0 {
+		vcores := tc.ex.node.CPU.Spec().VirtualCores
+		if vcores > 1 {
+			seconds *= 1 + mp*float64(tc.ex.running-1)/float64(vcores-1)
+		}
+	}
+	tc.computeSpent += seconds
+	tc.ex.node.CPU.Compute(tc.p, seconds)
+}
+
+// WriteShuffle implements job.TaskContext: spill map output to local disk.
+func (tc *taskContext) WriteShuffle(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	tc.diskWrite(tc.ex.node.ID, bytes)
+	tc.bytesMoved += bytes
+	tc.shuffleOut += bytes
+}
+
+// WriteOutput implements job.TaskContext: write DFS output.
+func (tc *taskContext) WriteOutput(bytes int64) {
+	if bytes <= 0 || tc.stage.OutputFile == "" {
+		return
+	}
+	ov := tc.ex.node.Disk.OverloadAhead()
+	t0 := tc.p.Now()
+	tc.eng.fs.Write(tc.p, tc.ex.node.ID, tc.stage.OutputFile, bytes)
+	tc.blockedIO += time.Duration(float64(tc.p.Now()-t0) * ov)
+	tc.bytesMoved += bytes
+}
+
+// Spill implements job.TaskContext: write temporary data to local disk and
+// merge it back. Spill traffic occupies the device and blocks the task, but
+// is deliberately NOT counted in bytesMoved: the monitor's µ is built from
+// task input/output metrics (as in Spark's metric system), and counting
+// work amplification as goodput would reward exactly the contention the
+// controller exists to avoid.
+func (tc *taskContext) Spill(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	tc.diskWrite(tc.ex.node.ID, bytes)
+	tc.diskRead(tc.ex.node.ID, bytes)
+}
+
+// Concurrency implements job.TaskContext.
+func (tc *taskContext) Concurrency() int { return tc.ex.running }
+
+// VirtualCores implements job.TaskContext.
+func (tc *taskContext) VirtualCores() int { return tc.ex.node.CPU.Spec().VirtualCores }
+
+// run executes the task's work and returns its metrics.
+func (tc *taskContext) run(work job.Work) (job.TaskMetrics, error) {
+	start := tc.p.Now()
+	disk0 := tc.ex.node.Disk.Snapshot()
+	// Task launch overhead: deserialization and setup burn a little CPU,
+	// as in Spark.
+	tc.Compute(tc.eng.opts.TaskOverheadCPUSeconds)
+	err := work.Execute(tc)
+	if tc.shuffleOut > 0 {
+		tc.eng.shuffle.addMapOutput(tc.stage.ID, tc.ex.node.ID, tc.shuffleOut)
+	}
+	disk1 := tc.ex.node.Disk.Snapshot()
+	busyFrac := 0.0
+	if win := (disk1.At - disk0.At).Seconds(); win > 0 {
+		busyFrac = (disk1.Busy - disk0.Busy).Seconds() / win
+	}
+	return job.TaskMetrics{
+		Stage:        tc.stage.ID,
+		Index:        tc.index,
+		Start:        start,
+		End:          tc.p.Now(),
+		BlockedIO:    tc.blockedIO,
+		BytesMoved:   tc.bytesMoved,
+		DiskBusyFrac: busyFrac,
+		Local:        tc.allLocal,
+	}, err
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one line of the engine's event log — the analogue of
+// Spark's event-log JSON, usable for timeline visualization and debugging.
+// Times are virtual seconds since job start.
+type TraceEvent struct {
+	At   float64 `json:"t"`
+	Type string  `json:"type"`
+	// Stage is the stage ID (-1 when not applicable).
+	Stage int `json:"stage"`
+	// Task is the task index (-1 when not applicable).
+	Task int `json:"task"`
+	// Exec is the executor ID (-1 when not applicable).
+	Exec int `json:"exec"`
+	// Threads is the pool size for resize events (0 otherwise).
+	Threads int    `json:"threads"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Trace event types.
+const (
+	TraceStageStart = "stage_start"
+	TraceStageEnd   = "stage_end"
+	TraceTaskLaunch = "task_launch"
+	TraceTaskEnd    = "task_end"
+	TraceTaskFail   = "task_fail"
+	TraceResize     = "resize"
+	TraceSpeculate  = "speculate"
+)
+
+// traceSink serializes events to the configured writer.
+type traceSink struct {
+	enc *json.Encoder
+	err error
+}
+
+func newTraceSink(w io.Writer) *traceSink {
+	if w == nil {
+		return nil
+	}
+	return &traceSink{enc: json.NewEncoder(w)}
+}
+
+// emit writes one event; encoding errors are remembered and surfaced once
+// at job end rather than failing tasks mid-flight.
+func (t *traceSink) emit(ev TraceEvent) {
+	if t == nil || t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(ev)
+}
+
+func (t *traceSink) flushErr() error {
+	if t == nil || t.err == nil {
+		return nil
+	}
+	return fmt.Errorf("engine: trace log: %w", t.err)
+}
+
+// trace emits an event if tracing is enabled.
+func (e *Engine) trace(ev TraceEvent) {
+	if e.sink == nil {
+		return
+	}
+	ev.At = e.k.Now().Seconds()
+	e.sink.emit(ev)
+}
+
+// ReadTrace decodes a trace log produced via Options.Trace.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []TraceEvent
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			return out, fmt.Errorf("engine: decode trace: %w", err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

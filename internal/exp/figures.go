@@ -1,0 +1,689 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sae/internal/cluster"
+	"sae/internal/conf"
+	"sae/internal/core"
+	"sae/internal/engine"
+	"sae/internal/metrics"
+	"sae/internal/sim"
+	"sae/internal/workloads"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one category count.
+type Table1Row struct {
+	Category conf.Category
+	Count    int
+}
+
+// Table1Result reproduces Table 1: functional parameters per category.
+type Table1Result struct {
+	Rows  []Table1Row
+	Total int
+}
+
+// Table1 counts the configuration catalogue.
+func Table1() *Table1Result {
+	r := conf.New()
+	counts := r.CountByCategory()
+	res := &Table1Result{Total: r.Len()}
+	for _, c := range conf.Categories() {
+		res.Rows = append(res.Rows, Table1Row{Category: c, Count: counts[c]})
+	}
+	return res
+}
+
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — functional parameters by category\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-32s %3d\n", row.Category, row.Count)
+	}
+	fmt.Fprintf(&b, "  %-32s %3d\n", "Total", r.Total)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+// AppStages is one application's per-stage usage under the default policy.
+type AppStages struct {
+	App    string
+	Stages []StageStat
+}
+
+// Figure1Result reproduces Fig. 1: per-stage CPU usage and disk iowait of
+// the four evaluation applications at the default thread count.
+type Figure1Result struct {
+	Apps []AppStages
+}
+
+// Figure1 runs the four applications with stock executors and reports
+// per-stage utilization.
+func Figure1(s Setup) (*Figure1Result, error) {
+	res := &Figure1Result{}
+	for _, mk := range fourApps() {
+		w := mk(s.workloadConfig())
+		rep, err := s.Run(w, core.Default{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("figure1 %s: %w", w.Name, err)
+		}
+		res.Apps = append(res.Apps, AppStages{App: w.Name, Stages: summarize(rep).Stages})
+	}
+	return res, nil
+}
+
+func (r *Figure1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — per-stage CPU usage and disk I/O wait (default executors)\n")
+	for _, app := range r.Apps {
+		fmt.Fprintf(&b, "  %s\n", app.App)
+		for _, st := range app.Stages {
+			fmt.Fprintf(&b, "    stage %d %-14s %8.1fs  cpu %5.1f%%  iowait %5.1f%%\n",
+				st.Stage, st.Name, st.Seconds, st.CPUPct, st.IowaitPct)
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row is one application's I/O amplification.
+type Table2Row struct {
+	App      string
+	InputGiB float64
+	IOGiB    float64
+	DiffPct  float64
+}
+
+// Table2Result reproduces Table 2: I/O activity relative to input size for
+// the nine HiBench applications.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 runs all nine applications with stock executors and accounts their
+// task-level I/O activity (input + shuffle + output bytes, as reported by
+// the engine's task metrics).
+func Table2(s Setup) (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, w := range workloads.All(s.workloadConfig()) {
+		rep, err := s.Run(w, core.Default{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", w.Name, err)
+		}
+		var io int64
+		for _, st := range rep.Stages {
+			io += st.Bytes()
+		}
+		in := float64(w.InputBytes)
+		res.Rows = append(res.Rows, Table2Row{
+			App:      w.Name,
+			InputGiB: workloads.GiB(w.InputBytes),
+			IOGiB:    workloads.GiB(io),
+			DiffPct:  100 * (float64(io) - in) / in,
+		})
+	}
+	return res, nil
+}
+
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — I/O activity relative to input size\n")
+	fmt.Fprintf(&b, "  %-12s %12s %12s %10s\n", "Application", "Input (GiB)", "I/O (GiB)", "Diff")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %12.2f %12.2f %+9.0f%%\n", row.App, row.InputGiB, row.IOGiB, row.DiffPct)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figures 2 and 4
+
+// Figure2 sweeps the static solution over Terasort and PageRank (Fig. 2).
+func Figure2(s Setup) (terasort, pagerank *SweepResult, err error) {
+	if terasort, err = StaticSweep(s, workloads.Terasort); err != nil {
+		return nil, nil, err
+	}
+	if pagerank, err = StaticSweep(s, workloads.PageRank); err != nil {
+		return nil, nil, err
+	}
+	return terasort, pagerank, nil
+}
+
+// Figure4 sweeps the static solution over the SQL applications (Fig. 4),
+// where the default thread count wins.
+func Figure4(s Setup) (aggregation, join *SweepResult, err error) {
+	if aggregation, err = StaticSweep(s, workloads.Aggregation); err != nil {
+		return nil, nil, err
+	}
+	if join, err = StaticSweep(s, workloads.Join); err != nil {
+		return nil, nil, err
+	}
+	return aggregation, join, nil
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Figure3Row is one node's sequential I/O timing.
+type Figure3Row struct {
+	Node     string
+	Factor   float64
+	ReadSec  float64
+	WriteSec float64
+}
+
+// Figure3Result reproduces Fig. 3: per-node variability of reading and
+// writing 30 GB on the DAS-5 cluster.
+type Figure3Result struct {
+	Rows          []Figure3Row
+	MeanReadSec   float64
+	MeanWriteSec  float64
+	MaxOverMinRd  float64
+	MaxOverMinWrt float64
+}
+
+// Figure3 measures 30 GB sequential writes and reads on every node of a
+// DAS-5-sized (44-node) cluster with the default variability model.
+func Figure3(s Setup) (*Figure3Result, error) {
+	const nodes = 44
+	const bytes = 30 * 1000 * 1000 * 1000 // 30 GB as in the paper
+	k := sim.NewKernel()
+	cfg := s.clusterConfig()
+	cfg.Nodes = nodes
+	c := cluster.New(k, cfg)
+	res := &Figure3Result{Rows: make([]Figure3Row, nodes)}
+	for i := 0; i < nodes; i++ {
+		i := i
+		node := c.Node(i)
+		k.Go(node.Name, func(p *sim.Proc) {
+			t0 := p.Now()
+			node.Disk.Write(p, bytes)
+			t1 := p.Now()
+			node.Disk.Read(p, bytes)
+			t2 := p.Now()
+			res.Rows[i] = Figure3Row{
+				Node:     node.Name,
+				Factor:   node.SpeedFactor,
+				WriteSec: (t1 - t0).Seconds(),
+				ReadSec:  (t2 - t1).Seconds(),
+			}
+		})
+	}
+	k.Run()
+	minR, maxR := res.Rows[0].ReadSec, res.Rows[0].ReadSec
+	minW, maxW := res.Rows[0].WriteSec, res.Rows[0].WriteSec
+	for _, row := range res.Rows {
+		res.MeanReadSec += row.ReadSec / nodes
+		res.MeanWriteSec += row.WriteSec / nodes
+		minR, maxR = min(minR, row.ReadSec), max(maxR, row.ReadSec)
+		minW, maxW = min(minW, row.WriteSec), max(maxW, row.WriteSec)
+	}
+	res.MaxOverMinRd = maxR / minR
+	res.MaxOverMinWrt = maxW / minW
+	return res, nil
+}
+
+func (r *Figure3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 3 — per-node 30 GB read/write time variability\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-9s read %6.1fs  write %6.1fs\n", row.Node, row.ReadSec, row.WriteSec)
+	}
+	fmt.Fprintf(&b, "  mean read %.1fs, mean write %.1fs, max/min read %.2fx, write %.2fx\n",
+		r.MeanReadSec, r.MeanWriteSec, r.MaxOverMinRd, r.MaxOverMinWrt)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// UtilPanel is one subplot of Fig. 5: disk utilization vs. thread count for
+// one I/O stage of one application.
+type UtilPanel struct {
+	App     string
+	Stage   int
+	Threads []int
+	UtilPct []float64
+	// Best is the thread count with the highest utilization (the red
+	// bar of Fig. 5).
+	Best int
+}
+
+// Figure5Result reproduces Fig. 5: average disk utilization in the I/O
+// stages of the four applications under the static sweep.
+type Figure5Result struct {
+	Panels []UtilPanel
+}
+
+// Figure5 derives the utilization panels from static sweeps.
+func Figure5(s Setup) (*Figure5Result, error) {
+	res := &Figure5Result{}
+	panels := []struct {
+		mk     func(workloads.Config) *workloads.Spec
+		stages []int
+	}{
+		{workloads.Terasort, []int{0, 1, 2}},
+		{workloads.PageRank, []int{0}},
+		{workloads.Aggregation, []int{0}},
+		{workloads.Join, []int{0}},
+	}
+	for _, pn := range panels {
+		sweep, err := StaticSweep(s, pn.mk)
+		if err != nil {
+			return nil, fmt.Errorf("figure5: %w", err)
+		}
+		for _, stage := range pn.stages {
+			panel := UtilPanel{App: sweep.App, Stage: stage}
+			bestUtil := -1.0
+			for i, th := range sweep.Threads {
+				util := sweep.Runs[i].Stages[stage].DiskUtilPct
+				panel.Threads = append(panel.Threads, th)
+				panel.UtilPct = append(panel.UtilPct, util)
+				if util > bestUtil {
+					bestUtil, panel.Best = util, th
+				}
+			}
+			res.Panels = append(res.Panels, panel)
+		}
+	}
+	return res, nil
+}
+
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — average disk utilization in I/O stages (static sweep)\n")
+	for _, p := range r.Panels {
+		fmt.Fprintf(&b, "  %s stage %d:", p.App, p.Stage)
+		for i, th := range p.Threads {
+			mark := " "
+			if th == p.Best {
+				mark = "*" // the red bar
+			}
+			fmt.Fprintf(&b, "  %d→%5.1f%%%s", th, p.UtilPct[i], mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Figure6Result reproduces Fig. 6: the thread count the dynamic solution
+// selects per stage, for every executor.
+type Figure6Result struct {
+	App string
+	// Threads[e][s] is executor e's final pool size in stage s.
+	Threads [][]int
+	Stages  []string
+}
+
+// Figure6 runs Terasort with self-adaptive executors.
+func Figure6(s Setup) (*Figure6Result, error) {
+	w := workloads.Terasort(s.workloadConfig())
+	rep, err := s.Run(w, core.DefaultDynamic(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("figure6: %w", err)
+	}
+	res := &Figure6Result{App: w.Name}
+	for _, st := range rep.Stages {
+		res.Stages = append(res.Stages, st.Name)
+	}
+	perStage := rep.FinalThreads()
+	if len(perStage) > 0 {
+		execs := len(perStage[0])
+		res.Threads = make([][]int, execs)
+		for e := 0; e < execs; e++ {
+			for s := range perStage {
+				res.Threads[e] = append(res.Threads[e], perStage[s][e])
+			}
+		}
+	}
+	return res, nil
+}
+
+func (r *Figure6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — dynamic thread selection per stage and executor (%s)\n", r.App)
+	fmt.Fprintf(&b, "  %-10s", "")
+	for s := range r.Stages {
+		fmt.Fprintf(&b, "  stage%-2d", s)
+	}
+	b.WriteString("\n")
+	for e, row := range r.Threads {
+		fmt.Fprintf(&b, "  executor%-2d", e)
+		for _, th := range row {
+			fmt.Fprintf(&b, " %7d", th)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Fig7Stage is one subplot: ε, µ and ζ against the thread count for one
+// Terasort stage on executor 0.
+type Fig7Stage struct {
+	Stage   int
+	Threads []int
+	EpsSec  []float64
+	MuMBps  []float64
+	Zeta    []float64
+	// Selected is the thread count the dynamic solution chose for this
+	// stage on executor 0.
+	Selected int
+}
+
+// Figure7Result reproduces Fig. 7.
+type Figure7Result struct {
+	Stages []Fig7Stage
+}
+
+// Figure7 measures ε, µ and ζ per static thread setting (ascending order,
+// as plotted) for each Terasort stage, and marks the dynamic selection.
+func Figure7(s Setup) (*Figure7Result, error) {
+	sweep, err := StaticSweep(s, workloads.Terasort)
+	if err != nil {
+		return nil, fmt.Errorf("figure7: %w", err)
+	}
+	dyn, err := s.Run(workloads.Terasort(s.workloadConfig()), core.DefaultDynamic(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("figure7 dynamic: %w", err)
+	}
+	res := &Figure7Result{}
+	for si := range sweep.Default.Stages {
+		fs := Fig7Stage{Stage: si, Selected: dyn.Stages[si].Execs[0].FinalThreads}
+		for i := len(sweep.Threads) - 1; i >= 0; i-- { // ascending 2..32
+			st := sweep.Runs[i].Stages[si]
+			eps := st.ExecBlockedIO[0].Seconds()
+			mu := float64(st.ExecBytes[0]) / st.Seconds
+			zeta := 0.0
+			if mu > 0 {
+				zeta = eps / mu * 1e6 // ε/µ, scaled to s per MB/s
+			}
+			fs.Threads = append(fs.Threads, sweep.Threads[i])
+			fs.EpsSec = append(fs.EpsSec, eps)
+			fs.MuMBps = append(fs.MuMBps, mu/1e6)
+			fs.Zeta = append(fs.Zeta, zeta)
+		}
+		res.Stages = append(res.Stages, fs)
+	}
+	return res, nil
+}
+
+func (r *Figure7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — ε, µ and ζ vs thread count (Terasort, executor 0)\n")
+	for _, fs := range r.Stages {
+		fmt.Fprintf(&b, "  stage %d (dynamic selected %d threads)\n", fs.Stage, fs.Selected)
+		for i, th := range fs.Threads {
+			sel := " "
+			if th == fs.Selected {
+				sel = "←"
+			}
+			fmt.Fprintf(&b, "    %2d threads: ε %8.1fs  µ %7.1f MB/s  ζ %8.4f %s\n",
+				th, fs.EpsSec[i], fs.MuMBps[i], fs.Zeta[i], sel)
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// Fig8App compares the three solutions on one application.
+type Fig8App struct {
+	App     string
+	Default RunStat
+	BestFit RunStat
+	Dynamic RunStat
+	// Reduction percentages relative to Default.
+	BestFitRed float64
+	DynamicRed float64
+}
+
+// Figure8Result reproduces Fig. 8: default vs static-BestFit vs dynamic.
+type Figure8Result struct {
+	Apps []Fig8App
+}
+
+// Figure8 runs the full comparison for the four applications.
+func Figure8(s Setup) (*Figure8Result, error) {
+	res := &Figure8Result{}
+	for _, mk := range fourApps() {
+		app, err := compare(s, mk)
+		if err != nil {
+			return nil, fmt.Errorf("figure8: %w", err)
+		}
+		res.Apps = append(res.Apps, app)
+	}
+	return res, nil
+}
+
+// compare produces one Fig. 8 panel.
+func compare(s Setup, mk func(workloads.Config) *workloads.Spec) (Fig8App, error) {
+	sweep, err := StaticSweep(s, mk)
+	if err != nil {
+		return Fig8App{}, err
+	}
+	rep, err := s.Run(mk(s.workloadConfig()), core.DefaultDynamic(), nil)
+	if err != nil {
+		return Fig8App{}, err
+	}
+	dyn := summarize(rep)
+	return Fig8App{
+		App:        sweep.App,
+		Default:    sweep.Default,
+		BestFit:    sweep.BestFit,
+		Dynamic:    dyn,
+		BestFitRed: Reduction(sweep.Default, sweep.BestFit),
+		DynamicRed: Reduction(sweep.Default, dyn),
+	}, nil
+}
+
+func (r *Figure8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — default vs static-BestFit vs dynamic\n")
+	for _, app := range r.Apps {
+		fmt.Fprintf(&b, "  %s: default %.1fs | bestfit %.1fs (red %+.1f%%) | dynamic %.1fs (red %+.1f%%)\n",
+			app.App, app.Default.Seconds, app.BestFit.Seconds, app.BestFitRed,
+			app.Dynamic.Seconds, app.DynamicRed)
+		for si := range app.Default.Stages {
+			fmt.Fprintf(&b, "    stage %d %-14s default %8.1fs %-8s  bestfit %8.1fs %-8s  dynamic %8.1fs %-8s\n",
+				si, app.Default.Stages[si].Name,
+				app.Default.Stages[si].Seconds, app.Default.Stages[si].ThreadsLabel,
+				app.BestFit.Stages[si].Seconds, app.BestFit.Stages[si].ThreadsLabel,
+				app.Dynamic.Stages[si].Seconds, app.Dynamic.Stages[si].ThreadsLabel)
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+// Fig9Row is one bar of Fig. 9.
+type Fig9Row struct {
+	Nodes   int
+	Policy  string
+	Seconds float64
+	Stages  []StageStat
+}
+
+// Figure9Result reproduces Fig. 9: Terasort scalability, 4 vs 16 nodes with
+// proportionally scaled input.
+type Figure9Result struct {
+	Rows []Fig9Row
+}
+
+// Figure9 runs Terasort under the three policies on the base cluster and on
+// a 16-node cluster (input scales with the cluster, as in the paper).
+func Figure9(s Setup) (*Figure9Result, error) {
+	res := &Figure9Result{}
+	for _, nodes := range []int{s.Nodes, 16} {
+		sn := s.WithNodes(nodes)
+		app, err := compare(sn, workloads.Terasort)
+		if err != nil {
+			return nil, fmt.Errorf("figure9 %d nodes: %w", nodes, err)
+		}
+		res.Rows = append(res.Rows,
+			Fig9Row{Nodes: nodes, Policy: "default", Seconds: app.Default.Seconds, Stages: app.Default.Stages},
+			Fig9Row{Nodes: nodes, Policy: "static-bestfit", Seconds: app.BestFit.Seconds, Stages: app.BestFit.Stages},
+			Fig9Row{Nodes: nodes, Policy: "dynamic", Seconds: app.Dynamic.Seconds, Stages: app.Dynamic.Stages},
+		)
+	}
+	return res, nil
+}
+
+func (r *Figure9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — Terasort scalability (input scaled with cluster size)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %2d nodes %-16s %8.1fs  [", row.Nodes, row.Policy, row.Seconds)
+		for i, st := range row.Stages {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s", st.ThreadsLabel)
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figures 10 and 11
+
+// Figure10 sweeps the static solution over Terasort on HDDs and SSDs.
+func Figure10(s Setup) (hdd, ssd *SweepResult, err error) {
+	if hdd, err = StaticSweep(s, workloads.Terasort); err != nil {
+		return nil, nil, err
+	}
+	if ssd, err = StaticSweep(s.WithSSD(), workloads.Terasort); err != nil {
+		return nil, nil, err
+	}
+	return hdd, ssd, nil
+}
+
+// Figure11Result reproduces Fig. 11: the three solutions on SSDs.
+type Figure11Result struct {
+	App Fig8App
+}
+
+// Figure11 compares the solutions for Terasort on SSD storage.
+func Figure11(s Setup) (*Figure11Result, error) {
+	app, err := compare(s.WithSSD(), workloads.Terasort)
+	if err != nil {
+		return nil, fmt.Errorf("figure11: %w", err)
+	}
+	return &Figure11Result{App: app}, nil
+}
+
+func (r *Figure11Result) String() string {
+	app := r.App
+	var b strings.Builder
+	b.WriteString("Figure 11 — Terasort on SSDs\n")
+	fmt.Fprintf(&b, "  default %.1fs | bestfit %.1fs (red %+.1f%%) | dynamic %.1fs (red %+.1f%%)\n",
+		app.Default.Seconds, app.BestFit.Seconds, app.BestFitRed, app.Dynamic.Seconds, app.DynamicRed)
+	for si := range app.Default.Stages {
+		fmt.Fprintf(&b, "    stage %d: default %-8s bestfit %-8s dynamic %-8s\n", si,
+			app.Default.Stages[si].ThreadsLabel, app.BestFit.Stages[si].ThreadsLabel,
+			app.Dynamic.Stages[si].ThreadsLabel)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 12
+
+// ThroughputPanel is one subplot of Fig. 12: per-second I/O throughput of
+// executor 0 during one Terasort stage, one series per thread count.
+type ThroughputPanel struct {
+	Disk  string
+	Stage int
+	// Series maps thread count → throughput samples (MB/s), with time
+	// rebased to the stage start.
+	Series map[int]metrics.Series
+	// Mean maps thread count → mean stage throughput (the dashed mean
+	// lines of Fig. 12).
+	Mean map[int]float64
+}
+
+// Figure12Result reproduces Fig. 12.
+type Figure12Result struct {
+	Panels []ThroughputPanel
+}
+
+// Figure12 samples executor 0's I/O throughput once per (virtual) second
+// during Terasort's first two stages, per thread count, on HDDs and SSDs.
+func Figure12(s Setup) (*Figure12Result, error) {
+	res := &Figure12Result{}
+	for _, disk := range []struct {
+		name  string
+		setup Setup
+	}{{"HDD", s}, {"SSD", s.WithSSD()}} {
+		panels := map[int]*ThroughputPanel{}
+		for _, stage := range []int{0, 1} {
+			panels[stage] = &ThroughputPanel{
+				Disk:   disk.name,
+				Stage:  stage,
+				Series: map[int]metrics.Series{},
+				Mean:   map[int]float64{},
+			}
+		}
+		for _, th := range SweepThreads {
+			cum := metrics.Series{Name: fmt.Sprintf("%s-%d", disk.name, th)}
+			rep, err := disk.setup.Run(
+				workloads.Terasort(disk.setup.workloadConfig()),
+				core.Static{IOThreads: th},
+				func(e *engine.Engine) {
+					exec0 := e.Executors()[0]
+					e.Kernel().Go("sampler", func(p *sim.Proc) {
+						for !e.Done() {
+							cum.Add(p.Now(), float64(exec0.CumulativeBytes()))
+							p.Sleep(time.Second)
+						}
+					})
+				})
+			if err != nil {
+				return nil, fmt.Errorf("figure12 %s %d threads: %w", disk.name, th, err)
+			}
+			rate := metrics.Rate(cum)
+			for _, stage := range []int{0, 1} {
+				st := rep.Stages[stage]
+				var series metrics.Series
+				var sum float64
+				for _, pt := range rate.Points {
+					if pt.At >= st.Start && pt.At <= st.End {
+						series.Add(pt.At-st.Start, pt.Value/1e6)
+						sum += pt.Value / 1e6
+					}
+				}
+				panels[stage].Series[th] = series
+				panels[stage].Mean[th] = series.Mean()
+			}
+		}
+		res.Panels = append(res.Panels, *panels[0], *panels[1])
+	}
+	return res, nil
+}
+
+func (r *Figure12Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 12 — Terasort I/O throughput time series (executor 0)\n")
+	for _, p := range r.Panels {
+		fmt.Fprintf(&b, "  stage %d, %s (mean MB/s by threads):", p.Stage, p.Disk)
+		for _, th := range SweepThreads {
+			fmt.Fprintf(&b, "  %d→%6.1f", th, p.Mean[th])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// fourApps returns the Table 3 applications in Fig. 1/8 order.
+func fourApps() []func(workloads.Config) *workloads.Spec {
+	return []func(workloads.Config) *workloads.Spec{
+		workloads.Terasort, workloads.PageRank, workloads.Aggregation, workloads.Join,
+	}
+}

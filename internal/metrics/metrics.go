@@ -1,0 +1,122 @@
+// Package metrics defines the measurement vocabulary of the paper's MAPE-K
+// monitor: per-interval epoll-wait time (ε), I/O throughput (µ), the
+// congestion index ζ = ε/µ used by the analyzer, and simple time series for
+// throughput plots.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Interval aggregates the monitor's measurements over one tuning interval
+// (in the paper: the completion of j tasks while the pool size is j).
+type Interval struct {
+	// Start and End bound the interval in virtual time.
+	Start, End time.Duration
+	// BlockedIO is ε: total time tasks spent blocked waiting for I/O
+	// completions (the strace epoll-wait analogue).
+	BlockedIO time.Duration
+	// Bytes is the total data moved by tasks (disk and shuffle, read and
+	// write), the numerator of µ.
+	Bytes int64
+	// Tasks is the number of task completions attributed to the interval.
+	Tasks int
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// Throughput returns µ in bytes/second. Zero-length intervals yield 0.
+func (iv Interval) Throughput() float64 {
+	d := iv.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(iv.Bytes) / d
+}
+
+// Congestion returns ζ = ε/µ, the paper's I/O congestion index (eq. 1).
+// Intervals that moved no data have no meaningful congestion; they report 0
+// so that CPU-bound stages read as uncongested.
+func (iv Interval) Congestion() float64 {
+	mu := iv.Throughput()
+	if mu <= 0 {
+		return 0
+	}
+	return iv.BlockedIO.Seconds() / mu
+}
+
+// Merge combines two measurement windows.
+func (iv Interval) Merge(other Interval) Interval {
+	out := iv
+	if other.Start < out.Start || out.Tasks == 0 {
+		out.Start = other.Start
+	}
+	if other.End > out.End {
+		out.End = other.End
+	}
+	out.BlockedIO += other.BlockedIO
+	out.Bytes += other.Bytes
+	out.Tasks += other.Tasks
+	return out
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%v,%v] ε=%v µ=%.1fMB/s ζ=%.4g (%d tasks)",
+		iv.Start, iv.End, iv.BlockedIO, iv.Throughput()/1e6, iv.Congestion(), iv.Tasks)
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series is an append-only time series (e.g. per-second I/O throughput).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(at time.Duration, v float64) {
+	s.Points = append(s.Points, Point{At: at, Value: v})
+}
+
+// Mean returns the average value, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max returns the maximum value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	var m float64
+	for i, p := range s.Points {
+		if i == 0 || p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Rate converts a series of cumulative counters into a series of per-sample
+// rates (units/second).
+func Rate(cum Series) Series {
+	out := Series{Name: cum.Name}
+	for i := 1; i < len(cum.Points); i++ {
+		dt := (cum.Points[i].At - cum.Points[i-1].At).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		out.Add(cum.Points[i].At, (cum.Points[i].Value-cum.Points[i-1].Value)/dt)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIntervalThroughput(t *testing.T) {
+	iv := Interval{Start: 0, End: 2 * time.Second, Bytes: 100 << 20, Tasks: 4}
+	if got, want := iv.Throughput(), float64(100<<20)/2; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("throughput = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalZeroDuration(t *testing.T) {
+	iv := Interval{Start: time.Second, End: time.Second, Bytes: 1 << 20}
+	if iv.Throughput() != 0 {
+		t.Fatal("zero-duration interval should have zero throughput")
+	}
+	if iv.Congestion() != 0 {
+		t.Fatal("zero-duration interval should have zero congestion")
+	}
+}
+
+func TestCongestionFormula(t *testing.T) {
+	iv := Interval{
+		Start:     0,
+		End:       10 * time.Second,
+		BlockedIO: 5 * time.Second,
+		Bytes:     200 << 20,
+		Tasks:     2,
+	}
+	mu := iv.Throughput()
+	want := 5.0 / mu
+	if got := iv.Congestion(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ζ = %v, want ε/µ = %v", got, want)
+	}
+}
+
+func TestCongestionNoIO(t *testing.T) {
+	iv := Interval{Start: 0, End: time.Second, BlockedIO: time.Second, Bytes: 0, Tasks: 1}
+	if iv.Congestion() != 0 {
+		t.Fatal("no-data interval must report zero congestion")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Interval{Start: time.Second, End: 3 * time.Second, BlockedIO: time.Second, Bytes: 10, Tasks: 1}
+	b := Interval{Start: 2 * time.Second, End: 5 * time.Second, BlockedIO: 2 * time.Second, Bytes: 20, Tasks: 1}
+	m := a.Merge(b)
+	if m.Start != time.Second || m.End != 5*time.Second {
+		t.Fatalf("window = [%v,%v]", m.Start, m.End)
+	}
+	if m.BlockedIO != 3*time.Second || m.Bytes != 30 || m.Tasks != 2 {
+		t.Fatalf("merge = %+v", m)
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var acc Interval
+	b := Interval{Start: 7 * time.Second, End: 9 * time.Second, Bytes: 5, Tasks: 1}
+	acc = acc.Merge(b)
+	if acc.Start != 7*time.Second || acc.End != 9*time.Second || acc.Tasks != 1 {
+		t.Fatalf("merge into empty = %+v", acc)
+	}
+}
+
+// Property: Merge is commutative in all aggregate fields.
+func TestMergeCommutativeProperty(t *testing.T) {
+	f := func(s1, e1, s2, e2 uint16, b1, b2 uint32) bool {
+		a := Interval{Start: time.Duration(s1), End: time.Duration(s1) + time.Duration(e1), Bytes: int64(b1), Tasks: 1, BlockedIO: time.Duration(b1)}
+		b := Interval{Start: time.Duration(s2), End: time.Duration(s2) + time.Duration(e2), Bytes: int64(b2), Tasks: 1, BlockedIO: time.Duration(b2)}
+		ab, ba := a.Merge(b), b.Merge(a)
+		return ab.Start == ba.Start && ab.End == ba.End && ab.Bytes == ba.Bytes &&
+			ab.Tasks == ba.Tasks && ab.BlockedIO == ba.BlockedIO
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+	s.Add(0, 10)
+	s.Add(time.Second, 20)
+	s.Add(2*time.Second, 30)
+	if s.Mean() != 20 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Max() != 30 {
+		t.Fatalf("max = %v", s.Max())
+	}
+}
+
+func TestRate(t *testing.T) {
+	var cum Series
+	cum.Add(0, 0)
+	cum.Add(time.Second, 100)
+	cum.Add(3*time.Second, 500)
+	r := Rate(cum)
+	if len(r.Points) != 2 {
+		t.Fatalf("rate points = %d", len(r.Points))
+	}
+	if r.Points[0].Value != 100 {
+		t.Fatalf("first rate = %v", r.Points[0].Value)
+	}
+	if r.Points[1].Value != 200 {
+		t.Fatalf("second rate = %v", r.Points[1].Value)
+	}
+}
+
+func TestRateSkipsZeroDt(t *testing.T) {
+	var cum Series
+	cum.Add(time.Second, 1)
+	cum.Add(time.Second, 2)
+	cum.Add(2*time.Second, 3)
+	r := Rate(cum)
+	if len(r.Points) != 1 {
+		t.Fatalf("rate points = %d, want 1 (zero-dt sample dropped)", len(r.Points))
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	iv := Interval{Start: 0, End: time.Second, BlockedIO: 100 * time.Millisecond, Bytes: 1 << 20, Tasks: 2}
+	s := iv.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,220 @@
+// Package psres implements a processor-sharing server in virtual time.
+//
+// A Server models a contended resource (disk, NIC, CPU) whose aggregate
+// service rate depends on the number of concurrent streams: rate = Curve(n).
+// Capacity is divided equally among active streams (optionally capped per
+// stream, and scaled by per-stream weights for asymmetric operations such as
+// writes that cost more than reads). This is the standard fluid approximation
+// of time-sliced devices and is what makes I/O-contention effects — the
+// subject of the paper — emerge from first principles: an HDD whose Curve
+// falls with n serves *less total work* the more threads hammer it.
+package psres
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sae/internal/sim"
+)
+
+// Curve maps the number of concurrent streams to the aggregate service rate
+// in units/second. It must be strictly positive for n >= 1.
+type Curve func(n int) float64
+
+// Flat returns a curve with constant aggregate rate regardless of
+// concurrency (e.g. a network link).
+func Flat(rate float64) Curve {
+	return func(int) float64 { return rate }
+}
+
+// Config configures a Server.
+type Config struct {
+	// Name identifies the server in diagnostics.
+	Name string
+	// Curve gives the aggregate rate for n concurrent streams. Required.
+	Curve Curve
+	// PerStreamCap limits the rate of any single stream (0 = unlimited).
+	// A CPU uses cap=1 core so one thread can never use two cores.
+	PerStreamCap float64
+	// OnActiveChange, if set, is called whenever the number of active
+	// streams changes, with the new count. Used for joint integrators
+	// such as the node-level iowait meter.
+	OnActiveChange func(n int)
+}
+
+// Server is a processor-sharing resource. It must only be used from
+// simulation (kernel or process) context; it needs no locking because the
+// kernel serializes execution.
+type Server struct {
+	k   *sim.Kernel
+	cfg Config
+
+	streams []*stream
+	last    time.Duration
+	next    *sim.Event
+
+	busy           time.Duration // total time with >=1 active stream
+	served         float64       // total units served
+	activeIntegral float64       // ∫ n dt, in stream-seconds
+}
+
+type stream struct {
+	remaining float64
+	weight    float64
+	rate      float64
+	done      *sim.Signal
+}
+
+// NewServer returns a server bound to kernel k.
+func NewServer(k *sim.Kernel, cfg Config) *Server {
+	if cfg.Curve == nil {
+		panic("psres: Config.Curve is required")
+	}
+	return &Server{k: k, cfg: cfg, last: k.Now()}
+}
+
+// Serve blocks p until demand units have been served. Weight scales this
+// stream's share of capacity (1 = normal; 0.5 = progresses at half the fair
+// share, modelling e.g. writes that cost twice as much as reads).
+func (s *Server) Serve(p *sim.Proc, demand, weight float64) {
+	if demand <= 0 {
+		return
+	}
+	if weight <= 0 {
+		panic(fmt.Sprintf("psres %s: non-positive weight %v", s.cfg.Name, weight))
+	}
+	s.advance()
+	st := &stream{remaining: demand, weight: weight, done: sim.NewSignal(s.k)}
+	s.streams = append(s.streams, st)
+	s.notifyActive()
+	s.recompute()
+	st.done.Wait(p)
+}
+
+// Active returns the number of streams currently in service.
+func (s *Server) Active() int { return len(s.streams) }
+
+// Stats is a snapshot of cumulative server statistics. Differences between
+// two snapshots give windowed measurements.
+type Stats struct {
+	// Busy is the total virtual time the server had at least one stream.
+	Busy time.Duration
+	// Served is the total units (e.g. bytes) served.
+	Served float64
+	// ActiveIntegral is ∫ n(t) dt in stream-seconds; divided by a window
+	// it gives the average queue depth.
+	ActiveIntegral float64
+	// At is the time of the snapshot.
+	At time.Duration
+}
+
+// Snapshot advances internal integrals to the current time and returns them.
+func (s *Server) Snapshot() Stats {
+	s.advance()
+	return Stats{Busy: s.busy, Served: s.served, ActiveIntegral: s.activeIntegral, At: s.k.Now()}
+}
+
+// UtilizationBetween returns the fraction of time the server was busy
+// between two snapshots.
+func UtilizationBetween(a, b Stats) float64 {
+	w := (b.At - a.At).Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return (b.Busy - a.Busy).Seconds() / w
+}
+
+func (s *Server) notifyActive() {
+	if s.cfg.OnActiveChange != nil {
+		s.cfg.OnActiveChange(len(s.streams))
+	}
+}
+
+// advance integrates stream progress from s.last to now.
+func (s *Server) advance() {
+	now := s.k.Now()
+	dt := (now - s.last).Seconds()
+	if dt <= 0 {
+		s.last = now
+		return
+	}
+	if n := len(s.streams); n > 0 {
+		s.busy += now - s.last
+		s.activeIntegral += float64(n) * dt
+		for _, st := range s.streams {
+			delta := st.rate * dt
+			if delta > st.remaining {
+				delta = st.remaining
+			}
+			st.remaining -= delta
+			s.served += delta
+		}
+	}
+	s.last = now
+}
+
+// recompute reassigns rates after an arrival or departure and schedules the
+// next completion.
+func (s *Server) recompute() {
+	if s.next != nil {
+		s.next.Cancel()
+		s.next = nil
+	}
+	n := len(s.streams)
+	if n == 0 {
+		return
+	}
+	total := s.cfg.Curve(n)
+	if total <= 0 || math.IsNaN(total) {
+		panic(fmt.Sprintf("psres %s: curve(%d) = %v", s.cfg.Name, n, total))
+	}
+	share := total / float64(n)
+	if s.cfg.PerStreamCap > 0 && share > s.cfg.PerStreamCap {
+		share = s.cfg.PerStreamCap
+	}
+	minT := math.Inf(1)
+	for _, st := range s.streams {
+		st.rate = share * st.weight
+		if t := st.remaining / st.rate; t < minT {
+			minT = t
+		}
+	}
+	// Ceil to the next nanosecond so the completing stream is guaranteed
+	// to have drained when the event fires.
+	d := time.Duration(math.Ceil(minT * 1e9))
+	if d < 0 {
+		d = 0
+	}
+	s.next = s.k.After(d, s.onCompletion)
+}
+
+// onCompletion removes drained streams, wakes their waiters and recomputes.
+func (s *Server) onCompletion() {
+	s.next = nil
+	s.advance()
+	kept := s.streams[:0]
+	var woken []*stream
+	for _, st := range s.streams {
+		// A stream is done when its residual work is below what it
+		// would serve in 2ns — i.e. float noise.
+		if st.remaining <= st.rate*2e-9+1e-12 {
+			s.served += st.remaining
+			st.remaining = 0
+			woken = append(woken, st)
+		} else {
+			kept = append(kept, st)
+		}
+	}
+	for i := len(kept); i < len(s.streams); i++ {
+		s.streams[i] = nil
+	}
+	s.streams = kept
+	if len(woken) > 0 {
+		s.notifyActive()
+	}
+	s.recompute()
+	for _, st := range woken {
+		st.done.Broadcast()
+	}
+}

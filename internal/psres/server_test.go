@@ -1,0 +1,301 @@
+package psres
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sae/internal/sim"
+)
+
+func sec(d float64) time.Duration { return time.Duration(d * float64(time.Second)) }
+
+func TestSingleStreamFullRate(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "disk", Curve: Flat(100)})
+	var done time.Duration
+	k.Go("c", func(p *sim.Proc) {
+		s.Serve(p, 500, 1)
+		done = p.Now()
+	})
+	k.Run()
+	if got, want := done.Seconds(), 5.0; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("done at %vs, want %vs", got, want)
+	}
+}
+
+func TestFairSharing(t *testing.T) {
+	// Two equal streams on a flat 100 u/s server: each gets 50 u/s.
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "disk", Curve: Flat(100)})
+	var t1, t2 time.Duration
+	k.Go("a", func(p *sim.Proc) { s.Serve(p, 100, 1); t1 = p.Now() })
+	k.Go("b", func(p *sim.Proc) { s.Serve(p, 100, 1); t2 = p.Now() })
+	k.Run()
+	if math.Abs(t1.Seconds()-2.0) > 1e-6 || math.Abs(t2.Seconds()-2.0) > 1e-6 {
+		t.Fatalf("completions %v %v, want 2s both", t1, t2)
+	}
+}
+
+func TestDepartureSpeedsUpRemaining(t *testing.T) {
+	// Stream A: 50 units, stream B: 150 units, flat 100 u/s.
+	// Phase 1: both at 50 u/s until A finishes at t=1 (B has 100 left).
+	// Phase 2: B alone at 100 u/s, finishes at t=2.
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "disk", Curve: Flat(100)})
+	var ta, tb time.Duration
+	k.Go("a", func(p *sim.Proc) { s.Serve(p, 50, 1); ta = p.Now() })
+	k.Go("b", func(p *sim.Proc) { s.Serve(p, 150, 1); tb = p.Now() })
+	k.Run()
+	if math.Abs(ta.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("A done at %v, want 1s", ta)
+	}
+	if math.Abs(tb.Seconds()-2.0) > 1e-6 {
+		t.Fatalf("B done at %v, want 2s", tb)
+	}
+}
+
+func TestLateArrivalSlowsDown(t *testing.T) {
+	// A starts alone (100 u/s). At t=1, B arrives; both at 50 u/s.
+	// A has 100 left at t=1, finishes at t=3.
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "disk", Curve: Flat(100)})
+	var ta time.Duration
+	k.Go("a", func(p *sim.Proc) { s.Serve(p, 200, 1); ta = p.Now() })
+	k.Go("b", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		s.Serve(p, 500, 1)
+	})
+	k.Run()
+	if math.Abs(ta.Seconds()-3.0) > 1e-6 {
+		t.Fatalf("A done at %v, want 3s", ta)
+	}
+}
+
+func TestDegradingCurve(t *testing.T) {
+	// Curve: 100 for n=1, 60 for n=2: two 60-unit streams take
+	// 2 seconds together (30 u/s each).
+	curve := func(n int) float64 {
+		if n == 1 {
+			return 100
+		}
+		return 60
+	}
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "hdd", Curve: curve})
+	var ta time.Duration
+	k.Go("a", func(p *sim.Proc) { s.Serve(p, 60, 1); ta = p.Now() })
+	k.Go("b", func(p *sim.Proc) { s.Serve(p, 60, 1) })
+	k.Run()
+	if math.Abs(ta.Seconds()-2.0) > 1e-6 {
+		t.Fatalf("done at %v, want 2s", ta)
+	}
+}
+
+func TestPerStreamCap(t *testing.T) {
+	// CPU-like: 4 cores, cap 1 core per stream. A single stream takes
+	// demand seconds, not demand/4.
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "cpu", Curve: func(n int) float64 { return math.Min(float64(n), 4) }, PerStreamCap: 1})
+	var ta time.Duration
+	k.Go("a", func(p *sim.Proc) { s.Serve(p, 3, 1); ta = p.Now() })
+	k.Run()
+	if math.Abs(ta.Seconds()-3.0) > 1e-6 {
+		t.Fatalf("done at %v, want 3s", ta)
+	}
+}
+
+func TestCPUOversubscription(t *testing.T) {
+	// 2 cores, 4 equal streams of 1 second each: each runs at 0.5 cores,
+	// all finish at t=2.
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "cpu", Curve: func(n int) float64 { return math.Min(float64(n), 2) }, PerStreamCap: 1})
+	var last time.Duration
+	for i := 0; i < 4; i++ {
+		k.Go("w", func(p *sim.Proc) {
+			s.Serve(p, 1, 1)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	k.Run()
+	if math.Abs(last.Seconds()-2.0) > 1e-6 {
+		t.Fatalf("last done at %v, want 2s", last)
+	}
+}
+
+func TestWeightedStreams(t *testing.T) {
+	// Flat 100, two streams, write weight 0.5: write progresses at 25 u/s
+	// while the read does 50 u/s.
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "disk", Curve: Flat(100)})
+	var tr, tw time.Duration
+	k.Go("r", func(p *sim.Proc) { s.Serve(p, 50, 1); tr = p.Now() })
+	k.Go("w", func(p *sim.Proc) { s.Serve(p, 50, 0.5); tw = p.Now() })
+	k.Run()
+	if math.Abs(tr.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("read done at %v, want 1s", tr)
+	}
+	// After the read leaves at t=1 the write has 25 left and runs at
+	// 0.5*100 = 50 u/s alone: done at 1.5s.
+	if math.Abs(tw.Seconds()-1.5) > 1e-6 {
+		t.Fatalf("write done at %v, want 1.5s", tw)
+	}
+}
+
+func TestZeroDemandReturnsImmediately(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "disk", Curve: Flat(100)})
+	var done time.Duration
+	k.Go("a", func(p *sim.Proc) {
+		s.Serve(p, 0, 1)
+		done = p.Now()
+	})
+	k.Run()
+	if done != 0 {
+		t.Fatalf("zero demand took %v", done)
+	}
+}
+
+func TestBusyAndUtilization(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "disk", Curve: Flat(100)})
+	var mid, end Stats
+	k.Go("a", func(p *sim.Proc) {
+		s.Serve(p, 100, 1) // busy [0,1]
+		p.Sleep(time.Second)
+		s.Serve(p, 100, 1) // busy [2,3]
+		end = s.Snapshot()
+	})
+	k.At(sec(1.5), func() { mid = s.Snapshot() })
+	k.Run()
+	if got := mid.Busy; got != time.Second {
+		t.Fatalf("busy at 1.5s = %v, want 1s", got)
+	}
+	if got := UtilizationBetween(mid, end); math.Abs(got-(1.0/1.5)) > 1e-6 {
+		t.Fatalf("utilization = %v, want %v", got, 1.0/1.5)
+	}
+	if math.Abs(end.Served-200) > 1e-6 {
+		t.Fatalf("served = %v, want 200", end.Served)
+	}
+}
+
+func TestOnActiveChange(t *testing.T) {
+	k := sim.NewKernel()
+	var counts []int
+	var s *Server
+	s = NewServer(k, Config{Name: "disk", Curve: Flat(100),
+		OnActiveChange: func(n int) { counts = append(counts, n) }})
+	k.Go("a", func(p *sim.Proc) { s.Serve(p, 100, 1) })
+	k.Go("b", func(p *sim.Proc) { s.Serve(p, 200, 1) })
+	k.Run()
+	want := []int{1, 2, 1, 0}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+// Property: work conservation — with a flat curve and no idling, total
+// completion time of any batch equals total demand / rate.
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(demands []uint16) bool {
+		var total float64
+		var ds []float64
+		for _, d := range demands {
+			if d == 0 {
+				continue
+			}
+			ds = append(ds, float64(d))
+			total += float64(d)
+		}
+		if len(ds) == 0 {
+			return true
+		}
+		k := sim.NewKernel()
+		s := NewServer(k, Config{Name: "disk", Curve: Flat(100)})
+		var last time.Duration
+		for _, d := range ds {
+			d := d
+			k.Go("w", func(p *sim.Proc) {
+				s.Serve(p, d, 1)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		k.Run()
+		want := total / 100
+		return math.Abs(last.Seconds()-want) < 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: served units equal the sum of demands once everything drains.
+func TestServedEqualsDemandProperty(t *testing.T) {
+	f := func(demands []uint16, degrade bool) bool {
+		curve := Flat(50)
+		if degrade {
+			curve = func(n int) float64 { return 50 / (1 + 0.2*float64(n-1)) }
+		}
+		k := sim.NewKernel()
+		s := NewServer(k, Config{Name: "disk", Curve: curve})
+		var total float64
+		for _, d := range demands {
+			if d == 0 {
+				continue
+			}
+			d := float64(d)
+			total += d
+			k.Go("w", func(p *sim.Proc) { s.Serve(p, d, 1) })
+		}
+		k.Run()
+		st := s.Snapshot()
+		return math.Abs(st.Served-total) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with any positive curve and equal demands, equal-weight streams
+// that start together finish together (processor sharing is fair).
+func TestFairnessProperty(t *testing.T) {
+	f := func(demandKB uint16, n uint8, peak uint16, alpha uint8) bool {
+		streams := int(n%6) + 2
+		demand := float64(demandKB%5000) + 1
+		p := float64(peak%500) + 50
+		a := float64(alpha%50) / 100
+		curve := func(n int) float64 { return p / (1 + a*float64(n-1)) }
+		k := sim.NewKernel()
+		s := NewServer(k, Config{Name: "x", Curve: curve})
+		var ends []time.Duration
+		for i := 0; i < streams; i++ {
+			k.Go("w", func(pr *sim.Proc) {
+				s.Serve(pr, demand, 1)
+				ends = append(ends, pr.Now())
+			})
+		}
+		k.Run()
+		if len(ends) != streams {
+			return false
+		}
+		for _, e := range ends {
+			if d := (e - ends[0]).Seconds(); d > 1e-6 || d < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

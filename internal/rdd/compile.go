@@ -1,0 +1,267 @@
+package rdd
+
+import (
+	"fmt"
+
+	"sae/internal/engine"
+	"sae/internal/engine/job"
+)
+
+// stagePlan is one compiled stage: read base (source or shuffle), apply the
+// narrow chain, then either feed a downstream wide node's shuffle or
+// materialize the action result.
+type stagePlan struct {
+	id    int
+	name  string
+	base  *node   // source or wide node whose output this stage consumes
+	chain []*node // narrow nodes applied in order
+	// sink: exactly one of the two.
+	sinkWide *node  // route output into this wide node's shuffle
+	saveFile string // "" unless the action is a save
+	isAction bool
+}
+
+// runState carries the real data between stages of one run.
+type runState struct {
+	// shuffle[wideID][reduce] accumulates records routed to each reduce
+	// partition.
+	shuffle map[int][][]any
+	// results[task] is the final stage's output.
+	results [][]any
+}
+
+// runJob materializes any cached dependencies, then compiles the plan
+// rooted at target and executes it on a fresh simulated cluster.
+func runJob(c *Context, target *node, action, outputFile string) ([][]any, *engine.JobReport, error) {
+	if err := c.ensureCached(target); err != nil {
+		return nil, nil, err
+	}
+	return runJobNoCache(c, target, action, outputFile)
+}
+
+// runJobNoCache assumes cached dependencies are already materialized.
+func runJobNoCache(c *Context, target *node, action, outputFile string) ([][]any, *engine.JobReport, error) {
+	plans, err := compile(c, target, action, outputFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	state := &runState{shuffle: make(map[int][][]any)}
+	var inputs []engine.Input
+	seenFiles := map[string]bool{}
+	spec := &job.JobSpec{Name: action}
+	// wideMapStages[wideID] lists the engine stage IDs feeding that
+	// wide node's shuffle.
+	wideMapStages := map[int][]int{}
+
+	for _, pl := range plans {
+		st := &job.StageSpec{
+			ID:       pl.id,
+			Name:     pl.name,
+			NumTasks: stageTasks(pl),
+		}
+		if pl.base.kind == kindSource && pl.base.file != "" && pl.base.cached == nil {
+			st.InputFile = pl.base.file
+			if !seenFiles[pl.base.file] {
+				seenFiles[pl.base.file] = true
+				inputs = append(inputs, engine.Input{Name: pl.base.file, Size: pl.base.bytes})
+			}
+		}
+		if pl.base.kind == kindWide && pl.base.cached == nil {
+			st.ShuffleFrom = append(st.ShuffleFrom, wideMapStages[pl.base.id]...)
+			if len(st.ShuffleFrom) == 0 {
+				return nil, nil, fmt.Errorf("rdd: wide node %d has no map stages", pl.base.id)
+			}
+		}
+		if pl.sinkWide != nil {
+			wideMapStages[pl.sinkWide.id] = append(wideMapStages[pl.sinkWide.id], pl.id)
+			if state.shuffle[pl.sinkWide.id] == nil {
+				state.shuffle[pl.sinkWide.id] = make([][]any, pl.sinkWide.partitions)
+			}
+		}
+		if pl.isAction {
+			state.results = make([][]any, st.NumTasks)
+			st.OutputFile = pl.saveFile
+		}
+		st.Work = c.stageWork(pl, state)
+		spec.Stages = append(spec.Stages, st)
+	}
+
+	opts := engine.Options{
+		Cluster:   c.opts.Cluster,
+		BlockSize: c.opts.BlockSize,
+		Policy:    c.opts.Policy,
+		Inputs:    inputs,
+	}
+	rep, err := engine.Run(opts, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return state.results, rep, nil
+}
+
+func stageTasks(pl *stagePlan) int {
+	if pl.base.kind == kindWide {
+		return pl.base.partitions
+	}
+	return pl.base.partitions
+}
+
+// compile cuts the plan into stages in dependency order.
+func compile(c *Context, target *node, action, outputFile string) ([]*stagePlan, error) {
+	var plans []*stagePlan
+	// compiled[wideID] guards against emitting a wide node's map stages
+	// twice when its output is consumed via several paths.
+	compiled := map[int]bool{}
+
+	// emitWide recursively emits, for wide node w, the map stages of all
+	// its parents (after their own dependencies).
+	var emitWide func(w *node) error
+	emitWide = func(w *node) error {
+		if compiled[w.id] {
+			return nil
+		}
+		compiled[w.id] = true
+		for _, parent := range w.parents {
+			base, chain, err := splitChain(parent)
+			if err != nil {
+				return err
+			}
+			if base.kind == kindWide && base.cached == nil {
+				if err := emitWide(base); err != nil {
+					return err
+				}
+			}
+			plans = append(plans, &stagePlan{
+				id:       len(plans),
+				name:     fmt.Sprintf("map-%d", w.id),
+				base:     base,
+				chain:    chain,
+				sinkWide: w,
+			})
+		}
+		return nil
+	}
+
+	base, chain, err := splitChain(target)
+	if err != nil {
+		return nil, err
+	}
+	if base.kind == kindWide && base.cached == nil {
+		if err := emitWide(base); err != nil {
+			return nil, err
+		}
+	}
+	plans = append(plans, &stagePlan{
+		id:       len(plans),
+		name:     action,
+		base:     base,
+		chain:    chain,
+		saveFile: outputFile,
+		isAction: true,
+	})
+	// Fix stage IDs to be contiguous and re-check ordering invariants.
+	for i, pl := range plans {
+		pl.id = i
+	}
+	return plans, nil
+}
+
+// splitChain walks up from n through narrow nodes to the stage base,
+// returning the base and the narrow chain in application order.
+func splitChain(n *node) (*node, []*node, error) {
+	var rev []*node
+	cur := n
+	for cur.kind == kindNarrow && cur.cached == nil {
+		rev = append(rev, cur)
+		if len(cur.parents) != 1 {
+			return nil, nil, fmt.Errorf("rdd: narrow node %d has %d parents", cur.id, len(cur.parents))
+		}
+		cur = cur.parents[0]
+	}
+	chain := make([]*node, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		chain = append(chain, rev[i])
+	}
+	return cur, chain, nil
+}
+
+// stageWork builds the per-task closure for one stage.
+func (c *Context) stageWork(pl *stagePlan, state *runState) func(int) job.Work {
+	recCPU := c.opts.RecordCPUSeconds
+	return func(task int) job.Work {
+		return job.WorkFunc(func(tc job.TaskContext) error {
+			// 1. Acquire the stage input (charging devices) and the
+			// real records.
+			var records []any
+			switch {
+			case pl.base.cached != nil:
+				// Materialized by Cache: an in-memory read, no
+				// device charges beyond deserialization.
+				if task < len(pl.base.cached) {
+					records = pl.base.cached[task]
+				}
+				tc.Compute(float64(len(records)) * recCPU * 0.1)
+			case pl.base.kind == kindSource:
+				if task < len(pl.base.content) {
+					records = pl.base.content[task]
+				}
+				drainInput(tc, recCPU, len(records))
+			case pl.base.kind == kindWide:
+				buckets := state.shuffle[pl.base.id]
+				if task < len(buckets) {
+					records = buckets[task]
+				}
+				drainInput(tc, recCPU, len(records))
+				tc.Compute(float64(len(records)) * recCPU)
+				records = pl.base.gather(records)
+			default:
+				return fmt.Errorf("rdd: stage %d has invalid base kind %d", pl.id, pl.base.kind)
+			}
+
+			// 2. Apply the narrow chain.
+			for _, nn := range pl.chain {
+				tc.Compute(float64(len(records)) * recCPU)
+				var next []any
+				for _, r := range records {
+					next = append(next, nn.narrow(r)...)
+				}
+				records = next
+			}
+
+			// 3. Emit.
+			switch {
+			case pl.sinkWide != nil:
+				tc.Compute(float64(len(records)) * recCPU)
+				var bytes int64
+				buckets := state.shuffle[pl.sinkWide.id]
+				for _, r := range records {
+					p := pl.sinkWide.route(task, r)
+					if p < 0 || p >= len(buckets) {
+						return fmt.Errorf("rdd: route sent record to partition %d of %d", p, len(buckets))
+					}
+					buckets[p] = append(buckets[p], r)
+					bytes += sizeOf(r)
+				}
+				tc.WriteShuffle(bytes)
+			case pl.isAction:
+				if pl.saveFile != "" {
+					var bytes int64
+					for _, r := range records {
+						bytes += sizeOf(r)
+					}
+					tc.WriteOutput(bytes)
+				}
+				state.results[task] = records
+			}
+			return nil
+		})
+	}
+}
+
+// drainInput consumes the task's assigned input bytes chunk by chunk, then
+// charges the deserialization CPU share for the real records.
+func drainInput(tc job.TaskContext, recCPU float64, records int) {
+	for tc.ReadInput(job.ChunkBytes) > 0 {
+	}
+	tc.Compute(float64(records) * recCPU * 0.5)
+}

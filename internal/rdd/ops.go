@@ -1,0 +1,96 @@
+package rdd
+
+import "sae/internal/engine"
+
+// MapValues transforms the values of a keyed dataset, keeping keys and
+// partitioning intent.
+func MapValues[K comparable, V, W any](d *Dataset[Pair[K, V]], f func(V) W) *Dataset[Pair[K, W]] {
+	return Map(d, func(p Pair[K, V]) Pair[K, W] {
+		return Pair[K, W]{Key: p.Key, Value: f(p.Value)}
+	})
+}
+
+// Keys projects the keys of a keyed dataset.
+func Keys[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[K] {
+	return Map(d, func(p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values of a keyed dataset.
+func Values[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[V] {
+	return Map(d, func(p Pair[K, V]) V { return p.Value })
+}
+
+// Union concatenates two datasets of the same type. Like Spark's union it
+// does not deduplicate; unlike Spark's (narrow) union, records flow through
+// a shuffle that interleaves both parents' partitions, because every stage
+// in this engine reads exactly one upstream.
+func Union[T any](a, b *Dataset[T], partitions int) *Dataset[T] {
+	c := a.ctx
+	if partitions <= 0 {
+		partitions = a.node.partitions + b.node.partitions
+	}
+	n := c.newNode(kindWide, partitions, a.node, b.node)
+	cnt := 0
+	n.route = func(mapPart int, _ any) int {
+		cnt++
+		return (mapPart + cnt) % partitions
+	}
+	n.gather = func(in []any) []any { return in }
+	return &Dataset[T]{ctx: c, node: n}
+}
+
+// Distinct removes duplicate records via a shuffle on the record value.
+func Distinct[T comparable](d *Dataset[T], partitions int) *Dataset[T] {
+	keyed := Map(d, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	reduced := ReduceByKey(keyed, func(a, _ struct{}) struct{} { return a }, partitions)
+	return Keys(reduced)
+}
+
+// Take materializes the first n records (in partition order). It runs a
+// full job, like Spark's take on a computed lineage.
+func Take[T any](d *Dataset[T], n int) ([]T, *engine.JobReport, error) {
+	all, rep, err := Collect(d)
+	if err != nil {
+		return nil, rep, err
+	}
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all, rep, nil
+}
+
+// Cache marks the dataset for materialization: the first action that uses
+// it computes its partitions once (paying the full lineage cost) and pins
+// them in (driver) memory; later actions read them as an in-memory source,
+// like Spark's MEMORY_ONLY persistence.
+func Cache[T any](d *Dataset[T]) *Dataset[T] {
+	d.node.wantCache = true
+	return d
+}
+
+// ensureCached materializes any cache-marked nodes the target depends on,
+// deepest first, by running sub-jobs.
+func (c *Context) ensureCached(target *node) error {
+	var walk func(n *node) error
+	seen := map[int]bool{}
+	walk = func(n *node) error {
+		if seen[n.id] {
+			return nil
+		}
+		seen[n.id] = true
+		for _, p := range n.parents {
+			if err := walk(p); err != nil {
+				return err
+			}
+		}
+		if n.wantCache && n.cached == nil && n != target {
+			parts, _, err := runJobNoCache(c, n, "cache", "")
+			if err != nil {
+				return err
+			}
+			n.cached = parts
+		}
+		return nil
+	}
+	return walk(target)
+}

@@ -1,0 +1,615 @@
+package rdd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sae/internal/cluster"
+	"sae/internal/core"
+	"sae/internal/device"
+	"sae/internal/engine"
+)
+
+func testContext(t *testing.T) *Context {
+	t.Helper()
+	cfg := cluster.DAS5(4)
+	cfg.Variability = device.Uniform()
+	c, err := NewContext(Options{Cluster: cfg, Policy: core.Default{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParallelizeCollect(t *testing.T) {
+	c := testContext(t)
+	in := []int{5, 1, 4, 2, 3}
+	d := Parallelize(c, in, 3)
+	out, rep, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("collected %d records", len(out))
+	}
+	sort.Ints(out)
+	for i, v := range []int{1, 2, 3, 4, 5} {
+		if out[i] != v {
+			t.Fatalf("out = %v", out)
+		}
+	}
+	if rep.Runtime <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestMapFilterChain(t *testing.T) {
+	c := testContext(t)
+	d := Parallelize(c, []int{1, 2, 3, 4, 5, 6}, 2)
+	evens := Filter(d, func(v int) bool { return v%2 == 0 })
+	squares := Map(evens, func(v int) int { return v * v })
+	out, _, err := Collect(squares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(out)
+	want := []int{4, 16, 36}
+	if fmt.Sprint(out) != fmt.Sprint(want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	c := testContext(t)
+	lines := []string{"the quick brown fox", "the lazy dog", "the fox"}
+	text := TextFile(c, "wc/in", lines, 2)
+	words := FlatMap(text, func(l string) []string { return strings.Fields(l) })
+	pairs := Map(words, func(w string) Pair[string, int] { return Pair[string, int]{Key: w, Value: 1} })
+	counts := ReduceByKey(pairs, func(a, b int) int { return a + b }, 4)
+	out, rep, err := Collect(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, p := range out {
+		got[p.Key] = p.Value
+	}
+	want := map[string]int{"the": 3, "quick": 1, "brown": 1, "fox": 2, "lazy": 1, "dog": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d distinct words, want %d", len(got), len(want))
+	}
+	// Two stages: map (textFile read) and reduce (collect).
+	if len(rep.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(rep.Stages))
+	}
+	if !rep.Stages[0].IOMarked {
+		t.Error("textFile stage should be IO-marked")
+	}
+	if rep.Stages[0].DiskReadBytes == 0 {
+		t.Error("textFile read charged no disk I/O")
+	}
+}
+
+func TestCount(t *testing.T) {
+	c := testContext(t)
+	d := Parallelize(c, make([]float64, 1234), 8)
+	n, _, err := Count(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1234 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	c := testContext(t)
+	d := Parallelize(c, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 4)
+	sum, _, err := Reduce(d, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 55 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	c := testContext(t)
+	var pairs []Pair[string, int]
+	for i := 0; i < 20; i++ {
+		pairs = append(pairs, Pair[string, int]{Key: fmt.Sprintf("k%d", i%4), Value: i})
+	}
+	d := Parallelize(c, pairs, 4)
+	grouped := GroupByKey(d, 3)
+	out, _, err := Collect(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("groups = %d, want 4", len(out))
+	}
+	for _, g := range out {
+		if len(g.Value) != 5 {
+			t.Errorf("group %s has %d values, want 5", g.Key, len(g.Value))
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	c := testContext(t)
+	users := Parallelize(c, []Pair[int, string]{
+		{1, "ann"}, {2, "bob"}, {3, "cat"}, {4, "dan"},
+	}, 2)
+	orders := Parallelize(c, []Pair[int, float64]{
+		{1, 9.5}, {1, 1.5}, {3, 4.0}, {9, 7.0},
+	}, 2)
+	joined := Join(users, orders, 4)
+	out, rep, err := Collect(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, p := range out {
+		got[p.Value.Left] += p.Value.Right
+	}
+	if len(out) != 3 {
+		t.Fatalf("join produced %d rows, want 3 (keys 1,1,3)", len(out))
+	}
+	if got["ann"] != 11.0 || got["cat"] != 4.0 {
+		t.Fatalf("join values = %v", got)
+	}
+	// Join compiles to two map stages + one reduce stage.
+	if len(rep.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3", len(rep.Stages))
+	}
+}
+
+func TestRangePartitionedSort(t *testing.T) {
+	c := testContext(t)
+	rng := rand.New(rand.NewSource(7))
+	var keys []string
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, fmt.Sprintf("%08x", rng.Uint32()))
+	}
+	d := Parallelize(c, keys, 8)
+	less := func(a, b string) bool { return a < b }
+	sample, _, err := Sample(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := Bounds(sample, 6, less)
+	if len(bounds) != 5 {
+		t.Fatalf("bounds = %d, want 5", len(bounds))
+	}
+	sorted := RepartitionByRange(d, bounds, less)
+	out, _, err := Collect(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(keys) {
+		t.Fatalf("sorted %d records, want %d", len(out), len(keys))
+	}
+	// Collect returns partitions in order; range partitioning makes the
+	// concatenation globally sorted.
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("output not globally sorted at %d: %q < %q", i, out[i], out[i-1])
+		}
+	}
+}
+
+func TestSortWithinPartitions(t *testing.T) {
+	c := testContext(t)
+	d := Parallelize(c, []int{9, 3, 7, 1, 8, 2, 6, 4}, 2)
+	s := SortWithinPartitions(d, func(a, b int) bool { return a < b })
+	out, _, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("len = %d", len(out))
+	}
+	// First half and second half each sorted.
+	for i := 1; i < 4; i++ {
+		if out[i] < out[i-1] || out[i+4] < out[i+3] {
+			t.Fatalf("partitions not sorted: %v", out)
+		}
+	}
+}
+
+func TestSaveAsTextFile(t *testing.T) {
+	c := testContext(t)
+	d := Parallelize(c, []int{1, 2, 3}, 2)
+	rep, err := SaveAsTextFile(d, "out/nums", func(v int) string { return fmt.Sprint(v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Stages[len(rep.Stages)-1]
+	if !last.IOMarked {
+		t.Error("save stage should be IO-marked")
+	}
+	if last.DiskWriteBytes == 0 {
+		t.Error("save charged no disk writes")
+	}
+}
+
+func TestShuffleChargesIO(t *testing.T) {
+	c := testContext(t)
+	var pairs []Pair[int, string]
+	for i := 0; i < 5000; i++ {
+		pairs = append(pairs, Pair[int, string]{Key: i % 64, Value: strings.Repeat("x", 100)})
+	}
+	d := Parallelize(c, pairs, 8)
+	g := GroupByKey(d, 8)
+	_, rep, err := Collect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stages[0].DiskWriteBytes < 5000*100 {
+		t.Errorf("map stage spilled %d bytes, want ≥ payload", rep.Stages[0].DiskWriteBytes)
+	}
+	if rep.Stages[1].DiskReadBytes < 5000*100 {
+		t.Errorf("reduce stage read %d bytes, want ≥ payload", rep.Stages[1].DiskReadBytes)
+	}
+}
+
+func TestChainedShuffles(t *testing.T) {
+	// source → reduceByKey → map → groupByKey → collect: three stages.
+	c := testContext(t)
+	var pairs []Pair[int, int]
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, Pair[int, int]{Key: i % 10, Value: 1})
+	}
+	d := Parallelize(c, pairs, 4)
+	counts := ReduceByKey(d, func(a, b int) int { return a + b }, 4)
+	flipped := Map(counts, func(p Pair[int, int]) Pair[int, int] { return Pair[int, int]{Key: p.Value, Value: p.Key} })
+	grouped := GroupByKey(flipped, 2)
+	out, rep, err := Collect(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3", len(rep.Stages))
+	}
+	if len(out) != 1 || out[0].Key != 10 || len(out[0].Value) != 10 {
+		t.Fatalf("out = %v, want one group of the 10 keys that each counted 10", out)
+	}
+}
+
+func TestAdaptivePolicyRunsRDD(t *testing.T) {
+	cfg := cluster.DAS5(4)
+	cfg.Variability = device.Uniform()
+	c, err := NewContext(Options{Cluster: cfg, Policy: core.DefaultDynamic()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, 20000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("line-%d some words here", i)
+	}
+	text := TextFile(c, "big/in", lines, 64)
+	words := FlatMap(text, func(l string) []string { return strings.Fields(l) })
+	pairs := Map(words, func(w string) Pair[string, int] { return Pair[string, int]{Key: w, Value: 1} })
+	counts := ReduceByKey(pairs, func(a, b int) int { return a + b }, 32)
+	out, rep, err := Collect(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty result")
+	}
+	if rep.Policy != "dynamic" {
+		t.Fatalf("policy = %s", rep.Policy)
+	}
+	// The dynamic controller must have produced decisions.
+	total := 0
+	for _, ds := range rep.Decisions {
+		total += len(ds)
+	}
+	if total == 0 {
+		t.Error("dynamic policy made no decisions on an RDD job")
+	}
+}
+
+func TestContextRequiresPolicy(t *testing.T) {
+	if _, err := NewContext(Options{}); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+// Property: wordcount totals equal input word count for arbitrary line
+// shapes.
+func TestWordCountTotalProperty(t *testing.T) {
+	c := testContext(t)
+	f := func(words []uint8) bool {
+		var lines []string
+		total := 0
+		var cur []string
+		for i, w := range words {
+			cur = append(cur, fmt.Sprintf("w%d", w%7))
+			total++
+			if i%5 == 4 {
+				lines = append(lines, strings.Join(cur, " "))
+				cur = nil
+			}
+		}
+		if len(cur) > 0 {
+			lines = append(lines, strings.Join(cur, " "))
+		}
+		if len(lines) == 0 {
+			return true
+		}
+		text := TextFile(c, fmt.Sprintf("prop/in-%d", len(lines)*1000+total), lines, 3)
+		ws := FlatMap(text, func(l string) []string { return strings.Fields(l) })
+		pairs := Map(ws, func(w string) Pair[string, int] { return Pair[string, int]{Key: w, Value: 1} })
+		counts := ReduceByKey(pairs, func(a, b int) int { return a + b }, 4)
+		out, _, err := Collect(counts)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, p := range out {
+			sum += p.Value
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Filter ∘ Collect is equivalent to native filtering.
+func TestFilterEquivalenceProperty(t *testing.T) {
+	f := func(data []int16, parts uint8) bool {
+		c := testContext(t)
+		in := make([]int, len(data))
+		for i, v := range data {
+			in[i] = int(v)
+		}
+		d := Parallelize(c, in, int(parts%8)+1)
+		pos := Filter(d, func(v int) bool { return v > 0 })
+		out, _, err := Collect(pos)
+		if err != nil {
+			return false
+		}
+		var want []int
+		for _, v := range in {
+			if v > 0 {
+				want = append(want, v)
+			}
+		}
+		sort.Ints(out)
+		sort.Ints(want)
+		return fmt.Sprint(out) == fmt.Sprint(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapValuesKeysValues(t *testing.T) {
+	c := testContext(t)
+	d := Parallelize(c, []Pair[string, int]{{"a", 1}, {"b", 2}}, 2)
+	doubled := MapValues(d, func(v int) int { return v * 2 })
+	out, _, err := Collect(doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, p := range out {
+		got[p.Key] = p.Value
+	}
+	if got["a"] != 2 || got["b"] != 4 {
+		t.Fatalf("mapValues = %v", got)
+	}
+	ks, _, err := Collect(Keys(d))
+	if err != nil || len(ks) != 2 {
+		t.Fatalf("keys = %v, %v", ks, err)
+	}
+	vs, _, err := Collect(Values(d))
+	if err != nil || len(vs) != 2 {
+		t.Fatalf("values = %v, %v", vs, err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	c := testContext(t)
+	a := Parallelize(c, []int{1, 2, 3}, 2)
+	b := Parallelize(c, []int{4, 5}, 2)
+	u := Union(a, b, 3)
+	out, rep, err := Collect(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("union size = %d, want 5", len(out))
+	}
+	sort.Ints(out)
+	if fmt.Sprint(out) != "[1 2 3 4 5]" {
+		t.Fatalf("union = %v", out)
+	}
+	// Two map stages (one per side) + the collect stage.
+	if len(rep.Stages) != 3 {
+		t.Fatalf("stages = %d", len(rep.Stages))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	c := testContext(t)
+	d := Parallelize(c, []int{3, 1, 3, 2, 1, 1, 2}, 3)
+	u := Distinct(d, 2)
+	out, _, err := Collect(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(out)
+	if fmt.Sprint(out) != "[1 2 3]" {
+		t.Fatalf("distinct = %v", out)
+	}
+}
+
+func TestTake(t *testing.T) {
+	c := testContext(t)
+	d := Parallelize(c, []int{10, 20, 30, 40}, 2)
+	got, _, err := Take(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("take = %v", got)
+	}
+	all, _, err := Take(d, 100)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("take(100) = %v, %v", all, err)
+	}
+}
+
+func TestCacheAvoidsRecomputationIO(t *testing.T) {
+	c := testContext(t)
+	lines := make([]string, 4000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%06d %s", i, strings.Repeat("z", 120))
+	}
+	// Control: the uncached pipeline reads the text file from DFS.
+	plain := Map(TextFile(c, "cache/in", lines, 8), func(l string) string { return l[:6] })
+	_, repPlain, err := Count(Filter(plain, func(s string) bool { return s < "000100" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repPlain.DiskReadBytes == 0 {
+		t.Fatal("uncached control read nothing")
+	}
+
+	// Cached: materialization happens in a hidden sub-job; every action
+	// job afterwards reads only memory.
+	base := TextFile(c, "cache/in2", lines, 8)
+	parsed := Cache(Map(base, func(l string) string { return l[:6] }))
+	_, rep1, err := Collect(Filter(parsed, func(s string) bool { return s < "000100" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, rep2, err := Count(Filter(parsed, func(s string) bool { return s >= "000100" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != 3900 {
+		t.Fatalf("count = %d", out2)
+	}
+	for i, rep := range []*engine.JobReport{rep1, rep2} {
+		if rep.DiskReadBytes != 0 {
+			t.Fatalf("cached action %d read %d bytes, want 0", i+1, rep.DiskReadBytes)
+		}
+	}
+}
+
+func TestCachedWideNode(t *testing.T) {
+	c := testContext(t)
+	var pairs []Pair[int, int]
+	for i := 0; i < 200; i++ {
+		pairs = append(pairs, Pair[int, int]{Key: i % 5, Value: 1})
+	}
+	counts := Cache(ReduceByKey(Parallelize(c, pairs, 4), func(a, b int) int { return a + b }, 4))
+	// Materialize, then reuse twice: the reuse jobs have a single stage.
+	if _, _, err := Collect(counts); err != nil {
+		t.Fatal(err)
+	}
+	doubled := MapValues(counts, func(v int) int { return v * 2 })
+	out, rep, err := Collect(doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != 1 {
+		t.Fatalf("cached reuse stages = %d, want 1", len(rep.Stages))
+	}
+	total := 0
+	for _, p := range out {
+		total += p.Value
+	}
+	if total != 400 {
+		t.Fatalf("total = %d, want 400", total)
+	}
+}
+
+// Property: ReduceByKey equals a native map-based aggregation for arbitrary
+// key/value sets and partition counts.
+func TestReduceByKeyEquivalenceProperty(t *testing.T) {
+	f := func(keys []uint8, parts uint8) bool {
+		c := testContext(t)
+		var pairs []Pair[int, int]
+		want := map[int]int{}
+		for i, k := range keys {
+			pairs = append(pairs, Pair[int, int]{Key: int(k % 16), Value: i})
+			want[int(k%16)] += i
+		}
+		if len(pairs) == 0 {
+			return true
+		}
+		d := Parallelize(c, pairs, int(parts%6)+1)
+		r := ReduceByKey(d, func(a, b int) int { return a + b }, int(parts%4)+1)
+		out, _, err := Collect(r)
+		if err != nil {
+			return false
+		}
+		got := map[int]int{}
+		for _, p := range out {
+			got[p.Key] = p.Value
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Join equals a native nested-loop join.
+func TestJoinEquivalenceProperty(t *testing.T) {
+	f := func(ls, rs []uint8) bool {
+		c := testContext(t)
+		var left []Pair[int, int]
+		var right []Pair[int, int]
+		for i, k := range ls {
+			left = append(left, Pair[int, int]{Key: int(k % 8), Value: i})
+		}
+		for i, k := range rs {
+			right = append(right, Pair[int, int]{Key: int(k % 8), Value: i * 10})
+		}
+		if len(left) == 0 || len(right) == 0 {
+			return true
+		}
+		want := 0
+		for _, l := range left {
+			for _, r := range right {
+				if l.Key == r.Key {
+					want++
+				}
+			}
+		}
+		j := Join(Parallelize(c, left, 2), Parallelize(c, right, 3), 4)
+		out, _, err := Collect(j)
+		if err != nil {
+			return false
+		}
+		return len(out) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package rdd
+
+import "fmt"
+
+// sizeOf estimates the serialized size of a record for I/O charging —
+// a coarse analogue of Spark's SizeEstimator. Estimates only need to be
+// stable and roughly proportional to real volume; they never affect
+// computed values.
+func sizeOf(v any) int64 {
+	const overhead = 8 // per-record framing
+	switch t := v.(type) {
+	case nil:
+		return overhead
+	case string:
+		return overhead + int64(len(t))
+	case []byte:
+		return overhead + int64(len(t))
+	case bool, int8, uint8:
+		return overhead + 1
+	case int, int64, uint64, float64, uint, int32, uint32, float32, int16, uint16:
+		return overhead + 8
+	case sizer:
+		return overhead + t.SizeBytes()
+	case joinTag:
+		return overhead + sizeOf(t.key) + sizeOf(t.value)
+	case []string:
+		var n int64
+		for _, s := range t {
+			n += sizeOf(s)
+		}
+		return overhead + n
+	case []int:
+		return overhead + 8*int64(len(t))
+	case []float64:
+		return overhead + 8*int64(len(t))
+	case []any:
+		var n int64
+		for _, e := range t {
+			n += sizeOf(e)
+		}
+		return overhead + n
+	default:
+		// Pairs and structs fall back to their formatted length — slow
+		// but type-agnostic, and only run at small example scale.
+		return overhead + int64(len(fmt.Sprintf("%v", v)))
+	}
+}
+
+// sizer lets user record types report their serialized size exactly.
+type sizer interface {
+	SizeBytes() int64
+}

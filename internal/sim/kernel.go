@@ -1,0 +1,259 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with cooperative goroutine-based processes.
+//
+// The kernel owns a virtual clock and an event queue. Processes are ordinary
+// goroutines that run one at a time: exactly one of {kernel, some process}
+// executes at any moment, and control is handed off explicitly. A process
+// blocks in virtual time by calling Proc.Sleep or by waiting on a Signal;
+// while it is blocked the kernel fires the next pending event. Because only
+// one goroutine ever runs at a time and ties are broken by sequence number,
+// simulations are exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Kernel is a discrete-event simulator. The zero value is not usable; use
+// NewKernel.
+type Kernel struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	procs   map[*Proc]struct{}
+	running bool
+	stopped bool
+}
+
+// NewKernel returns a kernel with the clock at zero and an empty event queue.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once fired or cancelled
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it would break causality.
+func (k *Kernel) At(at time.Duration, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+	}
+	e := &Event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Run fires events in timestamp order (FIFO among equal timestamps) until the
+// queue is empty or Stop is called, then kills any processes that are still
+// parked so their goroutines exit. Run must be called from the goroutine that
+// created the kernel, and must not be called from inside a process.
+func (k *Kernel) Run() {
+	if k.running {
+		panic("sim: Run called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for !k.stopped && len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: event queue went backwards")
+		}
+		k.now = e.at
+		e.fn()
+	}
+	k.shutdown()
+}
+
+// Stop makes Run return after the currently firing event completes. Remaining
+// events are discarded and parked processes are killed.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// shutdown kills all parked processes so their goroutines exit.
+func (k *Kernel) shutdown() {
+	for p := range k.procs {
+		p.kill = true
+		k.switchTo(p)
+	}
+	k.events = nil
+}
+
+// switchTo transfers control to p and waits until p parks again or exits.
+func (k *Kernel) switchTo(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// Proc is a simulation process: a goroutine that advances only when the
+// kernel hands it control, and blocks only in virtual time.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	kill   bool
+}
+
+// killed is the panic value used to unwind a process during shutdown.
+type killed struct{}
+
+// Go spawns a new process running fn. The process starts at the current
+// virtual time, after already-scheduled events at this timestamp.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			delete(k.procs, p)
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); ok {
+					k.yield <- struct{}{}
+					return
+				}
+				panic(r)
+			}
+			k.yield <- struct{}{}
+		}()
+		<-p.resume
+		if p.kill {
+			panic(killed{})
+		}
+		fn(p)
+	}()
+	k.After(0, func() { k.switchTo(p) })
+	return p
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// park yields control to the kernel until some event resumes this process.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+	if p.kill {
+		panic(killed{})
+	}
+}
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.k.After(d, func() { p.k.switchTo(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting other events at
+// this timestamp fire first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Signal is a virtual-time condition variable. The zero value is invalid;
+// use NewSignal. Signals are not safe for use outside kernel/process context
+// (they need no locking because only one goroutine runs at a time).
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to k.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Wait parks p until Broadcast or Notify wakes it.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Broadcast wakes all waiting processes. They resume at the current virtual
+// time in the order they began waiting.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w := w
+		s.k.After(0, func() { s.k.switchTo(w) })
+	}
+}
+
+// Notify wakes the longest-waiting process, if any. It reports whether a
+// process was woken.
+func (s *Signal) Notify() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.k.After(0, func() { s.k.switchTo(w) })
+	return true
+}
+
+// Pending returns the number of processes waiting on the signal.
+func (s *Signal) Pending() int { return len(s.waiters) }
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

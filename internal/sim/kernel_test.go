@@ -1,0 +1,457 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30*time.Millisecond, func() { got = append(got, 3) })
+	k.At(10*time.Millisecond, func() { got = append(got, 1) })
+	k.At(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", k.Now())
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Second, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(time.Second, func() { fired = true })
+	k.At(500*time.Millisecond, func() { e.Cancel() })
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	k.Run()
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var wake time.Duration
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Second)
+		wake = p.Now()
+	})
+	k.Run()
+	if wake != 42*time.Second {
+		t.Fatalf("woke at %v, want 42s", wake)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	k.Go("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(2 * time.Second)
+		trace = append(trace, "a2")
+	})
+	k.Go("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(1 * time.Second)
+		trace = append(trace, "b1")
+		p.Sleep(2 * time.Second)
+		trace = append(trace, "b3")
+	})
+	k.Run()
+	want := []string{"a0", "b0", "b1", "a2", "b3"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		k.Go("waiter", func(p *Proc) {
+			s.Wait(p)
+			woken++
+		})
+	}
+	k.At(time.Second, func() { s.Broadcast() })
+	k.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestSignalNotifyFIFO(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Go("waiter", func(p *Proc) {
+			s.Wait(p)
+			order = append(order, i)
+		})
+	}
+	k.At(time.Second, func() { s.Notify() })
+	k.At(2*time.Second, func() { s.Notify() })
+	k.At(3*time.Second, func() { s.Notify() })
+	k.Run()
+	for i := 0; i < 3; i++ {
+		if order[i] != i {
+			t.Fatalf("wake order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestShutdownKillsParkedProcs(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	reached := false
+	k.Go("stuck", func(p *Proc) {
+		s.Wait(p) // never signalled
+		reached = true
+	})
+	k.Run()
+	if reached {
+		t.Fatal("process ran past un-signalled wait")
+	}
+	if len(k.procs) != 0 {
+		t.Fatalf("%d procs leaked", len(k.procs))
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	k.At(1*time.Second, func() { fired = append(fired, 1); k.Stop() })
+	k.At(2*time.Second, func() { fired = append(fired, 2) })
+	k.Run()
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k)
+	wg.Add(3)
+	var doneAt time.Duration
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * time.Second
+		k.Go("worker", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	k.Go("joiner", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	k.Run()
+	if doneAt != 3*time.Second {
+		t.Fatalf("join at %v, want 3s", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k)
+	ran := false
+	k.Go("joiner", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	k.Run()
+	if !ran {
+		t.Fatal("Wait on zero counter blocked forever")
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(k, 2)
+	active, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		k.Go("user", func(p *Proc) {
+			sem.Acquire(p)
+			active++
+			if active > peak {
+				peak = active
+			}
+			p.Sleep(time.Second)
+			active--
+			sem.Release()
+		})
+	}
+	k.Run()
+	if peak != 2 {
+		t.Fatalf("peak concurrency = %d, want 2", peak)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("finished at %v, want 3s", k.Now())
+	}
+}
+
+func TestMailbox(t *testing.T) {
+	k := NewKernel()
+	mb := NewMailbox[int](k)
+	var got []int
+	var at []time.Duration
+	k.Go("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p))
+			at = append(at, p.Now())
+		}
+	})
+	k.At(time.Second, func() { mb.Send(time.Millisecond, 7) })
+	k.At(2*time.Second, func() {
+		mb.Send(0, 8)
+		mb.Send(0, 9)
+	})
+	k.Run()
+	if got[0] != 7 || got[1] != 8 || got[2] != 9 {
+		t.Fatalf("got %v, want [7 8 9]", got)
+	}
+	if at[0] != time.Second+time.Millisecond {
+		t.Fatalf("first delivery at %v", at[0])
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	k := NewKernel()
+	mb := NewMailbox[string](k)
+	k.At(0, func() {
+		if _, ok := mb.TryRecv(); ok {
+			t.Error("TryRecv on empty mailbox returned ok")
+		}
+		mb.Send(0, "x")
+	})
+	k.At(time.Second, func() {
+		v, ok := mb.TryRecv()
+		if !ok || v != "x" {
+			t.Errorf("TryRecv = %q, %v", v, ok)
+		}
+	})
+	k.Run()
+}
+
+// TestDeterminism: a randomized workload of sleeps produces an identical
+// trace across runs with the same seed.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		k := NewKernel()
+		rng := rand.New(rand.NewSource(seed))
+		var trace []time.Duration
+		for i := 0; i < 20; i++ {
+			n := 1 + rng.Intn(5)
+			k.Go("p", func(p *Proc) {
+				for j := 0; j < n; j++ {
+					p.Sleep(time.Duration(rng.Intn(1000)) * time.Millisecond)
+					trace = append(trace, p.Now())
+				}
+			})
+		}
+		k.Run()
+		return trace
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: virtual time never decreases across an arbitrary set of events.
+func TestTimeMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			k.At(time.Duration(d)*time.Millisecond, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a process that sleeps a sequence of delays wakes at the exact
+// prefix sums.
+func TestSleepPrefixSumProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		ok := true
+		k.Go("p", func(p *Proc) {
+			var sum time.Duration
+			for _, d := range delays {
+				dd := time.Duration(d) * time.Microsecond
+				p.Sleep(dd)
+				sum += dd
+				if p.Now() != sum {
+					ok = false
+				}
+			}
+		})
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	k := NewKernel()
+	depth := 0
+	var spawn func(p *Proc, d int)
+	spawn = func(p *Proc, d int) {
+		if d > depth {
+			depth = d
+		}
+		if d == 5 {
+			return
+		}
+		p.Sleep(time.Second)
+		k.Go("child", func(c *Proc) { spawn(c, d+1) })
+	}
+	k.Go("root", func(p *Proc) { spawn(p, 0) })
+	k.Run()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	k := NewKernel()
+	k.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative WaitGroup counter did not panic")
+			}
+		}()
+		wg := NewWaitGroup(k)
+		wg.Done()
+	})
+	k.Run()
+}
+
+func TestSemaphoreZeroPermits(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(k, 0)
+	acquired := false
+	k.Go("w", func(p *Proc) {
+		sem.Acquire(p)
+		acquired = true
+	})
+	k.At(time.Second, func() { sem.Release() })
+	k.Run()
+	if !acquired {
+		t.Fatal("release did not wake the waiter")
+	}
+	if sem.Available() != 0 {
+		t.Fatalf("available = %d", sem.Available())
+	}
+}
+
+func TestNegativeSemaphorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative semaphore size accepted")
+		}
+	}()
+	NewSemaphore(NewKernel(), -1)
+}
+
+func TestMailboxFIFOAcrossSameInstant(t *testing.T) {
+	k := NewKernel()
+	mb := NewMailbox[int](k)
+	var got []int
+	k.Go("recv", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			got = append(got, mb.Recv(p))
+		}
+	})
+	k.At(time.Second, func() {
+		for i := 1; i <= 4; i++ {
+			mb.Send(0, i)
+		}
+	})
+	k.Run()
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestSignalPending(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	for i := 0; i < 3; i++ {
+		k.Go("w", func(p *Proc) { s.Wait(p) })
+	}
+	k.At(time.Second, func() {
+		if s.Pending() != 3 {
+			t.Errorf("pending = %d, want 3", s.Pending())
+		}
+		s.Broadcast()
+	})
+	k.At(2*time.Second, func() {
+		if s.Pending() != 0 {
+			t.Errorf("pending after broadcast = %d", s.Pending())
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,162 @@
+package sae
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicRunTerasort(t *testing.T) {
+	rep, err := Run(DAS5().WithScale(0.1), Terasort(ScaledDown(0.1)), Adaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != "dynamic" {
+		t.Fatalf("policy = %q", rep.Policy)
+	}
+	if len(rep.Stages) != 3 {
+		t.Fatalf("stages = %d", len(rep.Stages))
+	}
+	if rep.Runtime <= 0 {
+		t.Fatal("no runtime")
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		name string
+	}{
+		{Default(), "default"},
+		{Static(8), "static-8"},
+		{Adaptive(), "dynamic"},
+		{AdaptiveWith(4, 0.2), "dynamic-cmin4"},
+		{BestFit(map[int]int{0: 4}), "static-bestfit"},
+	}
+	for _, c := range cases {
+		if c.p.Name() != c.name {
+			t.Errorf("policy name = %q, want %q", c.p.Name(), c.name)
+		}
+	}
+}
+
+func TestPublicWorkloadByName(t *testing.T) {
+	for _, name := range []string{"terasort", "pagerank", "aggregation", "join", "scan", "bayes", "lda", "nweight", "svm"} {
+		w, err := WorkloadByName(name, ScaledDown(0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != name {
+			t.Fatalf("got %q", w.Name)
+		}
+	}
+	if _, err := WorkloadByName("nope", PaperScale()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if len(AllWorkloads(ScaledDown(0.05))) != 9 {
+		t.Fatal("AllWorkloads != 9")
+	}
+}
+
+func TestPublicDataflow(t *testing.T) {
+	ctx, err := NewContext(ContextOptions{Policy: Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := TextFile(ctx, "t/in", []string{"a b", "b c c"}, 2)
+	words := FlatMap(text, func(l string) []string { return strings.Fields(l) })
+	pairs := MapData(words, func(w string) Pair[string, int] { return Pair[string, int]{Key: w, Value: 1} })
+	counts := ReduceByKey(pairs, func(a, b int) int { return a + b }, 2)
+	out, rep, err := Collect(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, p := range out {
+		got[p.Key] = p.Value
+	}
+	if got["a"] != 1 || got["b"] != 2 || got["c"] != 2 {
+		t.Fatalf("counts = %v", got)
+	}
+	if rep == nil || len(rep.Stages) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestPublicDataflowExtendedOps(t *testing.T) {
+	ctx, err := NewContext(ContextOptions{Policy: Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Parallelize(ctx, []int{1, 2, 2, 3}, 2)
+	b := Parallelize(ctx, []int{3, 4}, 1)
+	u := Distinct(Union(a, b, 3), 2)
+	n, _, err := CountData(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("distinct(union) = %d, want 4", n)
+	}
+	first2, _, err := Take(CacheData(u), 2)
+	if err != nil || len(first2) != 2 {
+		t.Fatalf("take = %v, %v", first2, err)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != len(Experiments()) {
+		t.Fatalf("ids = %d, experiments = %d", len(ids), len(Experiments()))
+	}
+	// Presentation order: tables, figures in numeric order, extensions.
+	if ids[0] != "table1" || ids[1] != "table2" || ids[2] != "fig1" {
+		t.Fatalf("order = %v", ids[:3])
+	}
+	last := ids[len(ids)-1]
+	if last != "interference" && last != "ablation" {
+		t.Fatalf("extensions should sort last, got %q", last)
+	}
+	// fig10 after fig9 (numeric, not lexicographic).
+	var i9, i10 int
+	for i, id := range ids {
+		if id == "fig9" {
+			i9 = i
+		}
+		if id == "fig10" {
+			i10 = i
+		}
+	}
+	if i10 != i9+1 {
+		t.Fatalf("fig10 should follow fig9: %v", ids)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("fig99", DAS5()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	res, err := RunExperiment("table1", DAS5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "117") {
+		t.Fatalf("table1 output missing total: %s", res)
+	}
+}
+
+func TestDeviceProfilesExported(t *testing.T) {
+	hb, hn := HDD().Peak()
+	sb, sn := SSD().Peak()
+	if hb >= sb {
+		t.Fatal("SSD should out-peak HDD")
+	}
+	if hn != 4 {
+		t.Fatalf("HDD peak at %d streams, want 4", hn)
+	}
+	if sn < 8 {
+		t.Fatalf("SSD peak at %d streams", sn)
+	}
+}
