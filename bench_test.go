@@ -285,6 +285,23 @@ func BenchmarkRDDWordCount(b *testing.B) {
 	}
 }
 
+// BenchmarkFaults regenerates the fault-tolerance matrix: Terasort under
+// quiet, crash, crash-restart and flaky chaos schedules for each policy.
+func BenchmarkFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Faults(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Policy == "dynamic" && strings.Contains(row.Schedule, "+") {
+				b.ReportMetric(row.DegradedPct, "dyn-crash-restart-degraded-%")
+				b.ReportMetric(float64(row.Requeued), "dyn-crash-restart-requeued")
+			}
+		}
+	}
+}
+
 // BenchmarkAblation regenerates the §5.2 design-choice ablation table.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

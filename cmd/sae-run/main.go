@@ -4,10 +4,14 @@
 // Usage:
 //
 //	sae-run [-workload terasort] [-policy dynamic] [-threads 8]
-//	        [-scale F] [-nodes N] [-ssd] [-decisions]
+//	        [-scale F] [-nodes N] [-ssd] [-decisions] [-faults SPEC]
 //
 // Policies: default | static | dynamic. The static policy uses -threads for
 // I/O-marked stages.
+//
+// -faults applies a deterministic chaos schedule, e.g. "crash@90s" (kill
+// executor 1 at t=90s), "crash2@2m+30s" (kill executor 2 at 2m, restart 30s
+// later), "flaky:0.02", "fetch:0.1", "mayhem@10m", combined with commas.
 package main
 
 import (
@@ -39,6 +43,7 @@ func run(args []string) error {
 	var confFlags multiFlag
 	fs.Var(&confFlags, "conf", "configuration override key=value (repeatable, e.g. -conf speculation=true)")
 	traceFile := fs.String("trace", "", "write the engine event log (JSON lines) to this file")
+	faults := fs.String("faults", "", "chaos schedule, e.g. crash@90s,flaky:0.02 (see chaos.Parse)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +73,13 @@ func run(args []string) error {
 		defer f.Close()
 		setup.Trace = f
 	}
+	if *faults != "" {
+		plan, err := sae.ParseFaults(*faults)
+		if err != nil {
+			return err
+		}
+		setup = setup.WithFaults(plan)
+	}
 	w, err := sae.WorkloadByName(*workload, sae.WorkloadConfig{Nodes: *nodes, Scale: *scale})
 	if err != nil {
 		return err
@@ -90,6 +102,11 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Print(rep)
+	if *faults != "" && rep.LostExecutors == 0 && rep.ResubmittedStages == 0 && rep.RecoveredBytes == 0 {
+		// The report prints a faults line itself whenever recovery
+		// activity happened; confirm the quiet case explicitly.
+		fmt.Println("  faults: schedule applied, no executors lost and no stages resubmitted")
+	}
 	if *decisions {
 		for exec, ds := range rep.Decisions {
 			for _, d := range ds {

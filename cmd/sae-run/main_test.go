@@ -19,12 +19,23 @@ func TestRunWithConfOverrides(t *testing.T) {
 	}
 }
 
+func TestRunWithFaults(t *testing.T) {
+	err := run([]string{
+		"-workload", "terasort", "-scale", "0.05",
+		"-faults", "crash@20s+10s,flaky:0.02",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-workload", "nope"},
 		{"-policy", "nope", "-scale", "0.01"},
 		{"-conf", "malformed"},
 		{"-conf", "no.such.key=1"},
+		{"-faults", "bogus@@"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

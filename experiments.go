@@ -125,6 +125,10 @@ func Experiments() map[string]Experiment {
 			ID: "interference", Title: "Co-located tenant mid-run (L4 / outlook extension)",
 			Run: func(s Setup) (fmt.Stringer, error) { return exp.Interference(s) },
 		},
+		"faults": {
+			ID: "faults", Title: "Terasort under chaos schedules (fault-tolerance extension)",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Faults(s) },
+		},
 	}
 }
 

@@ -1,0 +1,311 @@
+// Package chaos provides deterministic, seeded fault schedules for the
+// simulated cluster: executor crashes at a virtual time (optionally followed
+// by a restart), transient task I/O faults, and shuffle-fetch failures. A
+// Plan is pure data plus pure hash functions — it holds no clock and no
+// RNG state, so the same plan injects exactly the same faults into the same
+// run every time, preserving the repo's determinism guarantee. The engine
+// consults the plan from the sim clock (crash events) and from task
+// attempts (fault rolls); the chaos package itself knows nothing about the
+// engine.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Crash schedules the loss of one executor at a virtual time.
+type Crash struct {
+	// Exec is the executor ID to kill.
+	Exec int
+	// At is the virtual time of the crash, measured from job start.
+	At time.Duration
+	// RestartAfter, if positive, brings the executor back that long
+	// after the crash with a fresh controller (restart at cmin).
+	RestartAfter time.Duration
+}
+
+// Plan is a named, seeded fault schedule.
+type Plan struct {
+	// Name labels the plan in reports ("quiet", "crash@2m", …).
+	Name string
+	// Seed drives the per-(stage,task,attempt) fault hashes.
+	Seed int64
+	// Crashes lists scheduled executor losses, in no particular order.
+	Crashes []Crash
+	// TaskFaultRate is the probability that a task attempt suffers a
+	// transient I/O fault partway through its input.
+	TaskFaultRate float64
+	// FetchFaultRate is the probability that a reduce task attempt's
+	// shuffle fetch fails transiently.
+	FetchFaultRate float64
+	// MaxInjected caps how many attempts of one task may receive
+	// injected faults (0 selects 2), so injected transients can never
+	// exhaust the engine's task.maxFailures budget on their own.
+	MaxInjected int
+}
+
+// Quiet returns the empty schedule: no faults.
+func Quiet() *Plan { return &Plan{Name: "quiet"} }
+
+// CrashAt returns a plan that permanently kills executor exec at t.
+func CrashAt(exec int, at time.Duration) *Plan {
+	return &Plan{
+		Name:    fmt.Sprintf("crash%d@%s", exec, at),
+		Crashes: []Crash{{Exec: exec, At: at}},
+	}
+}
+
+// CrashRestart returns a plan that kills executor exec at t and restarts it
+// after the given delay.
+func CrashRestart(exec int, at, after time.Duration) *Plan {
+	return &Plan{
+		Name:    fmt.Sprintf("crash%d@%s+%s", exec, at, after),
+		Crashes: []Crash{{Exec: exec, At: at, RestartAfter: after}},
+	}
+}
+
+// Flaky returns a plan injecting transient task I/O faults at the given
+// rate.
+func Flaky(rate float64, seed int64) *Plan {
+	return &Plan{Name: fmt.Sprintf("flaky:%g", rate), Seed: seed, TaskFaultRate: rate}
+}
+
+// FetchStorm returns a plan injecting transient shuffle-fetch failures at
+// the given rate.
+func FetchStorm(rate float64, seed int64) *Plan {
+	return &Plan{Name: fmt.Sprintf("fetch:%g", rate), Seed: seed, FetchFaultRate: rate}
+}
+
+// Mayhem returns a plan combining a mid-horizon crash-and-restart with
+// transient task and fetch faults.
+func Mayhem(horizon time.Duration, seed int64) *Plan {
+	return &Plan{
+		Name:           fmt.Sprintf("mayhem@%s", horizon),
+		Seed:           seed,
+		Crashes:        []Crash{{Exec: 1, At: horizon * 2 / 5, RestartAfter: horizon / 5}},
+		TaskFaultRate:  0.02,
+		FetchFaultRate: 0.03,
+	}
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && p.TaskFaultRate <= 0 && p.FetchFaultRate <= 0)
+}
+
+// String returns the plan's name.
+func (p *Plan) String() string {
+	if p == nil {
+		return "quiet"
+	}
+	return p.Name
+}
+
+func (p *Plan) maxInjected() int {
+	if p.MaxInjected <= 0 {
+		return 2
+	}
+	return p.MaxInjected
+}
+
+// TaskFault reports whether the given attempt of task (stage, task) suffers
+// an injected transient I/O fault, and at which fraction of its input the
+// fault strikes. attemptBudget is the engine's surviving-attempt budget
+// (task.maxFailures − 1): injection stops below both caps so an injected
+// fault can never abort a job by itself.
+func (p *Plan) TaskFault(stage, task, attempt, attemptBudget int) (bool, float64) {
+	if p == nil || p.TaskFaultRate <= 0 {
+		return false, 0
+	}
+	if lim := p.maxInjected(); attemptBudget > lim {
+		attemptBudget = lim
+	}
+	if attempt >= attemptBudget {
+		return false, 0
+	}
+	if !p.roll(1, stage, task, attempt, p.TaskFaultRate) {
+		return false, 0
+	}
+	// Strike somewhere in the middle of the input: [0.1, 0.9).
+	return true, 0.1 + 0.8*p.frac(2, stage, task, attempt)
+}
+
+// FetchFault reports whether the given attempt's shuffle fetch fails
+// transiently, under the same attempt budget as TaskFault.
+func (p *Plan) FetchFault(stage, task, attempt, attemptBudget int) bool {
+	if p == nil || p.FetchFaultRate <= 0 {
+		return false
+	}
+	if lim := p.maxInjected(); attemptBudget > lim {
+		attemptBudget = lim
+	}
+	if attempt >= attemptBudget {
+		return false
+	}
+	return p.roll(3, stage, task, attempt, p.FetchFaultRate)
+}
+
+// SortedCrashes returns the crash schedule ordered by time then executor.
+func (p *Plan) SortedCrashes() []Crash {
+	if p == nil {
+		return nil
+	}
+	out := append([]Crash(nil), p.Crashes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Exec < out[j].Exec
+	})
+	return out
+}
+
+// roll draws a deterministic Bernoulli from the plan's seed and the fault
+// coordinates.
+func (p *Plan) roll(kind, stage, task, attempt int, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	return p.frac(kind, stage, task, attempt) < rate
+}
+
+// frac hashes the fault coordinates to a uniform float64 in [0, 1).
+func (p *Plan) frac(kind, stage, task, attempt int) float64 {
+	h := splitmix(uint64(p.Seed) ^ 0x9e3779b97f4a7c15)
+	h = splitmix(h ^ uint64(kind))
+	h = splitmix(h ^ uint64(stage))
+	h = splitmix(h ^ uint64(task))
+	h = splitmix(h ^ uint64(attempt))
+	return float64(h>>11) / (1 << 53)
+}
+
+// splitmix is the SplitMix64 finalizer — the same stateless hashing idiom
+// the device variability model uses for deterministic per-node factors.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Parse builds a plan from a compact spec string: a comma-separated list of
+// clauses. Supported clauses:
+//
+//	quiet | none          no faults (alone)
+//	crash@T               executor 1 crashes at virtual time T (e.g. 90s)
+//	crash@T+R             … and restarts R after the crash
+//	crashN@T[+R]          same for executor N
+//	flaky[:RATE]          transient task I/O faults (default rate 0.05)
+//	fetch[:RATE]          transient shuffle-fetch failures (default 0.1)
+//	mayhem@T              crash-restart of executor 1 mid-horizon T plus
+//	                      low-rate task and fetch faults
+//	seed:N                hash seed (default 1)
+//
+// Example: "crash1@2m+30s,flaky:0.02,seed:7". Parse returns nil for the
+// quiet plan.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "quiet" || spec == "none" {
+		return nil, nil
+	}
+	p := &Plan{Name: spec, Seed: 1}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(clause, "crash"):
+			c, err := parseCrash(clause)
+			if err != nil {
+				return nil, err
+			}
+			p.Crashes = append(p.Crashes, c)
+		case strings.HasPrefix(clause, "flaky"):
+			rate, err := parseRate(clause, "flaky", 0.05)
+			if err != nil {
+				return nil, err
+			}
+			p.TaskFaultRate = rate
+		case strings.HasPrefix(clause, "fetch"):
+			rate, err := parseRate(clause, "fetch", 0.1)
+			if err != nil {
+				return nil, err
+			}
+			p.FetchFaultRate = rate
+		case strings.HasPrefix(clause, "mayhem@"):
+			horizon, err := time.ParseDuration(clause[len("mayhem@"):])
+			if err != nil {
+				return nil, fmt.Errorf("chaos: clause %q: %w", clause, err)
+			}
+			m := Mayhem(horizon, p.Seed)
+			p.Crashes = append(p.Crashes, m.Crashes...)
+			p.TaskFaultRate = m.TaskFaultRate
+			p.FetchFaultRate = m.FetchFaultRate
+		case strings.HasPrefix(clause, "seed:"):
+			n, err := strconv.ParseInt(clause[len("seed:"):], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: clause %q: %w", clause, err)
+			}
+			p.Seed = n
+		default:
+			return nil, fmt.Errorf("chaos: unknown clause %q", clause)
+		}
+	}
+	return p, nil
+}
+
+// parseCrash parses "crash[N]@T[+R]".
+func parseCrash(clause string) (Crash, error) {
+	rest := clause[len("crash"):]
+	at := strings.IndexByte(rest, '@')
+	if at < 0 {
+		return Crash{}, fmt.Errorf("chaos: clause %q: want crash[N]@T[+R]", clause)
+	}
+	c := Crash{Exec: 1}
+	if at > 0 {
+		n, err := strconv.Atoi(rest[:at])
+		if err != nil {
+			return Crash{}, fmt.Errorf("chaos: clause %q: bad executor: %w", clause, err)
+		}
+		c.Exec = n
+	}
+	times := rest[at+1:]
+	if plus := strings.IndexByte(times, '+'); plus >= 0 {
+		d, err := time.ParseDuration(times[plus+1:])
+		if err != nil {
+			return Crash{}, fmt.Errorf("chaos: clause %q: bad restart delay: %w", clause, err)
+		}
+		c.RestartAfter = d
+		times = times[:plus]
+	}
+	d, err := time.ParseDuration(times)
+	if err != nil {
+		return Crash{}, fmt.Errorf("chaos: clause %q: bad crash time: %w", clause, err)
+	}
+	c.At = d
+	return c, nil
+}
+
+// parseRate parses "name" or "name:RATE".
+func parseRate(clause, name string, def float64) (float64, error) {
+	rest := clause[len(name):]
+	if rest == "" {
+		return def, nil
+	}
+	if !strings.HasPrefix(rest, ":") {
+		return 0, fmt.Errorf("chaos: unknown clause %q", clause)
+	}
+	rate, err := strconv.ParseFloat(rest[1:], 64)
+	if err != nil {
+		return 0, fmt.Errorf("chaos: clause %q: %w", clause, err)
+	}
+	if rate < 0 || rate > 1 {
+		return 0, fmt.Errorf("chaos: clause %q: rate out of [0,1]", clause)
+	}
+	return rate, nil
+}

@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseQuiet(t *testing.T) {
+	for _, spec := range []string{"", "quiet", "none", "  quiet  "} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if p != nil {
+			t.Fatalf("Parse(%q) = %+v, want nil", spec, p)
+		}
+	}
+}
+
+func TestParseCrash(t *testing.T) {
+	p, err := Parse("crash@90s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) != 1 {
+		t.Fatalf("crashes = %d, want 1", len(p.Crashes))
+	}
+	c := p.Crashes[0]
+	if c.Exec != 1 || c.At != 90*time.Second || c.RestartAfter != 0 {
+		t.Fatalf("crash = %+v", c)
+	}
+
+	p, err = Parse("crash2@2m+30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = p.Crashes[0]
+	if c.Exec != 2 || c.At != 2*time.Minute || c.RestartAfter != 30*time.Second {
+		t.Fatalf("crash = %+v", c)
+	}
+}
+
+func TestParseCombined(t *testing.T) {
+	p, err := Parse("crash@1m+10s,flaky:0.02,fetch:0.04,seed:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) != 1 || p.TaskFaultRate != 0.02 || p.FetchFaultRate != 0.04 || p.Seed != 7 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.Name != "crash@1m+10s,flaky:0.02,fetch:0.04,seed:7" {
+		t.Fatalf("name = %q", p.Name)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	p, err := Parse("flaky,fetch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TaskFaultRate != 0.05 || p.FetchFaultRate != 0.1 {
+		t.Fatalf("default rates = %g/%g", p.TaskFaultRate, p.FetchFaultRate)
+	}
+}
+
+func TestParseMayhem(t *testing.T) {
+	p, err := Parse("mayhem@100s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0].At != 40*time.Second || p.Crashes[0].RestartAfter != 20*time.Second {
+		t.Fatalf("mayhem crashes = %+v", p.Crashes)
+	}
+	if p.TaskFaultRate <= 0 || p.FetchFaultRate <= 0 {
+		t.Fatalf("mayhem rates = %g/%g", p.TaskFaultRate, p.FetchFaultRate)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{"crash", "crash@", "crashx@1m", "flaky:2", "bogus", "seed:x", "crash@1m+x"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestTaskFaultDeterministic(t *testing.T) {
+	a := &Plan{Seed: 3, TaskFaultRate: 0.3}
+	b := &Plan{Seed: 3, TaskFaultRate: 0.3}
+	for stage := 0; stage < 3; stage++ {
+		for task := 0; task < 50; task++ {
+			f1, at1 := a.TaskFault(stage, task, 0, 3)
+			f2, at2 := b.TaskFault(stage, task, 0, 3)
+			if f1 != f2 || at1 != at2 {
+				t.Fatalf("stage %d task %d: (%v,%g) vs (%v,%g)", stage, task, f1, at1, f2, at2)
+			}
+		}
+	}
+}
+
+func TestTaskFaultRate(t *testing.T) {
+	p := &Plan{Seed: 1, TaskFaultRate: 0.2}
+	hits := 0
+	const n = 5000
+	for task := 0; task < n; task++ {
+		if ok, frac := p.TaskFault(0, task, 0, 3); ok {
+			hits++
+			if frac < 0.1 || frac >= 0.9 {
+				t.Fatalf("fault fraction %g out of [0.1, 0.9)", frac)
+			}
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.15 || got > 0.25 {
+		t.Fatalf("fault rate = %.3f, want ≈0.2", got)
+	}
+}
+
+func TestInjectionRespectsAttemptBudget(t *testing.T) {
+	p := &Plan{Seed: 1, TaskFaultRate: 1, FetchFaultRate: 1}
+	// Default MaxInjected is 2: attempts 0 and 1 fault, attempt 2 does not.
+	for attempt := 0; attempt < 5; attempt++ {
+		want := attempt < 2
+		if ok, _ := p.TaskFault(0, 0, attempt, 3); ok != want {
+			t.Fatalf("TaskFault attempt %d = %v, want %v", attempt, ok, want)
+		}
+		if ok := p.FetchFault(0, 0, attempt, 3); ok != want {
+			t.Fatalf("FetchFault attempt %d = %v, want %v", attempt, ok, want)
+		}
+	}
+	// A tighter engine budget (task.maxFailures = 2 ⇒ budget 1) wins.
+	if ok, _ := p.TaskFault(0, 0, 1, 1); ok {
+		t.Fatal("TaskFault ignored the engine attempt budget")
+	}
+}
+
+func TestSeedChangesFaults(t *testing.T) {
+	a := &Plan{Seed: 1, TaskFaultRate: 0.2}
+	b := &Plan{Seed: 2, TaskFaultRate: 0.2}
+	same := true
+	for task := 0; task < 200; task++ {
+		fa, _ := a.TaskFault(0, task, 0, 3)
+		fb, _ := b.TaskFault(0, task, 0, 3)
+		if fa != fb {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fault sets")
+	}
+}
+
+func TestEmptyAndString(t *testing.T) {
+	var p *Plan
+	if !p.Empty() || p.String() != "quiet" {
+		t.Fatal("nil plan should be quiet/empty")
+	}
+	if !Quiet().Empty() {
+		t.Fatal("Quiet() not empty")
+	}
+	if CrashAt(1, time.Minute).Empty() {
+		t.Fatal("crash plan reported empty")
+	}
+	if got := CrashRestart(2, time.Minute, 10*time.Second).String(); got != "crash2@1m0s+10s" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestSortedCrashes(t *testing.T) {
+	p := &Plan{Crashes: []Crash{
+		{Exec: 2, At: 30 * time.Second},
+		{Exec: 1, At: 10 * time.Second},
+		{Exec: 0, At: 30 * time.Second},
+	}}
+	got := p.SortedCrashes()
+	if got[0].Exec != 1 || got[1].Exec != 0 || got[2].Exec != 2 {
+		t.Fatalf("sorted = %+v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -12,10 +13,18 @@ import (
 	"sae/internal/sim"
 )
 
+// blacklistAfter is how many consecutive task failures on one executor get
+// it blacklisted (Spark's spark.blacklist analogue). A success resets the
+// streak; a crash/restart clears the blacklist.
+const blacklistAfter = 3
+
 // runJob is the driver process: it executes stages in order, assigning
 // tasks to executors with locality preference and keeping a slot table
 // (limit − inflight per executor) that follows the executors' thread-count
-// update messages.
+// update messages. The slot table is job-scoped (a scheduler): it tracks
+// executor liveness across stages, so an executor lost in stage 2 is still
+// gone in stage 3, and lineage-recovery task sets for earlier stages can
+// run concurrently with the current stage's.
 func (e *Engine) runJob(p *sim.Proc, spec *job.JobSpec) (*JobReport, error) {
 	report := &JobReport{
 		Job:    spec.Name,
@@ -27,6 +36,25 @@ func (e *Engine) runJob(p *sim.Proc, spec *job.JobSpec) (*JobReport, error) {
 		startRead += r
 		startWrite += w
 	}
+
+	s := &scheduler{
+		eng:         e,
+		specs:       make(map[int]*job.StageSpec, len(spec.Stages)),
+		limits:      make([]int, len(e.executors)),
+		inflight:    make([]int, len(e.executors)),
+		epochs:      make([]int, len(e.executors)),
+		failStreak:  make([]int, len(e.executors)),
+		alive:       make([]bool, len(e.executors)),
+		blacklisted: make([]bool, len(e.executors)),
+		active:      make(map[int]*taskSet),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	for _, stage := range spec.Stages {
+		s.specs[stage.ID] = stage
+	}
+	e.sched = s
 
 	for _, stage := range spec.Stages {
 		sr, err := e.runStage(p, stage)
@@ -45,6 +73,9 @@ func (e *Engine) runJob(p *sim.Proc, spec *job.JobSpec) (*JobReport, error) {
 	}
 	report.DiskReadBytes -= startRead
 	report.DiskWriteBytes -= startWrite
+	report.LostExecutors = s.lostExecs
+	report.ResubmittedStages = s.resubmissions
+	report.RecoveredBytes = e.shuffle.recoveredBytes()
 	for _, ex := range e.executors {
 		report.Decisions = append(report.Decisions, ex.Decisions())
 		report.ThreadLogs = append(report.ThreadLogs, ex.ThreadLog())
@@ -52,22 +83,150 @@ func (e *Engine) runJob(p *sim.Proc, spec *job.JobSpec) (*JobReport, error) {
 	return report, nil
 }
 
-// stageState tracks a running stage at the driver.
-type stageState struct {
-	stage    *job.StageSpec
-	pending  []int // task indices not yet assigned
-	splits   [][]dfs.Block
-	limits   []int
-	inflight []int
-	done     int
+// taskSet tracks one set of runnable tasks at the driver: the current
+// stage's full task wave, or a lineage-recovery subset regenerating lost
+// map outputs of an earlier stage.
+type taskSet struct {
+	stage *job.StageSpec
+	// recovery marks a resubmitted parent map stage; recovery sets skip
+	// speculation and stage statistics, and their executors keep the
+	// current stage's controller settings.
+	recovery bool
+	// only restricts a recovery set to specific task indices.
+	only map[int]bool
 
-	// Speculation bookkeeping.
-	taskDone   []bool
+	pending []int // task indices not yet assigned
+	splits  [][]dfs.Block
+	total   int
+	done    int
+
+	taskDone map[int]bool
+	attempts map[int]int // failed attempts per task (abort threshold)
+	launches map[int]int // total launches per task (chaos attempt index)
+	// copies[task] lists executors currently running an attempt.
+	copies map[int][]int
+
+	// Speculation bookkeeping (primary sets only).
 	launchAt   map[int]time.Duration // first launch per task
 	lastExec   map[int]int           // latest executor per task
-	noExec     map[int]int           // executor to avoid (speculative copies)
+	noExec     map[int]int           // executor to avoid (retries, speculative copies)
 	speculated map[int]bool
 	durations  []time.Duration
+
+	retries     int
+	speculative int
+}
+
+func newTaskSet(stage *job.StageSpec, recovery bool, only []int) *taskSet {
+	ts := &taskSet{
+		stage:      stage,
+		recovery:   recovery,
+		taskDone:   make(map[int]bool),
+		attempts:   make(map[int]int),
+		launches:   make(map[int]int),
+		copies:     make(map[int][]int),
+		launchAt:   make(map[int]time.Duration),
+		lastExec:   make(map[int]int),
+		noExec:     make(map[int]int),
+		speculated: make(map[int]bool),
+	}
+	if recovery {
+		ts.only = make(map[int]bool, len(only))
+		for _, t := range only {
+			ts.only[t] = true
+			ts.pending = append(ts.pending, t)
+		}
+		ts.total = len(only)
+	} else {
+		for i := 0; i < stage.NumTasks; i++ {
+			ts.pending = append(ts.pending, i)
+		}
+		ts.total = stage.NumTasks
+	}
+	return ts
+}
+
+// contains reports whether task belongs to this set's domain.
+func (ts *taskSet) contains(task int) bool {
+	if ts.only != nil {
+		return ts.only[task]
+	}
+	return task >= 0 && task < ts.stage.NumTasks
+}
+
+// addTask extends a recovery set with another lost task.
+func (ts *taskSet) addTask(task int) {
+	if ts.only[task] {
+		return
+	}
+	ts.only[task] = true
+	ts.pending = append(ts.pending, task)
+	ts.total++
+}
+
+// inFlight reports whether any attempt of task is currently running.
+func (ts *taskSet) inFlight(task int) bool { return len(ts.copies[task]) > 0 }
+
+// isPending reports whether task is queued for assignment.
+func (ts *taskSet) isPending(task int) bool {
+	for _, t := range ts.pending {
+		if t == task {
+			return true
+		}
+	}
+	return false
+}
+
+// dropCopy removes one running attempt of task on exec.
+func (ts *taskSet) dropCopy(task, exec int) {
+	execs := ts.copies[task]
+	for i, e := range execs {
+		if e == exec {
+			ts.copies[task] = append(execs[:i], execs[i+1:]...)
+			return
+		}
+	}
+}
+
+// tasksOn returns the sorted task indices with a running attempt on exec.
+func (ts *taskSet) tasksOn(exec int) []int {
+	var tasks []int
+	for task, execs := range ts.copies {
+		for _, e := range execs {
+			if e == exec {
+				tasks = append(tasks, task)
+				break
+			}
+		}
+	}
+	sort.Ints(tasks)
+	return tasks
+}
+
+// scheduler is the driver's job-scoped state: the per-executor slot table,
+// liveness and blacklist tracking, and all currently-running task sets.
+type scheduler struct {
+	eng   *Engine
+	specs map[int]*job.StageSpec
+
+	limits      []int
+	inflight    []int
+	epochs      []int
+	failStreak  []int
+	alive       []bool
+	blacklisted []bool
+
+	// active maps stage ID → running task set (the current stage's
+	// primary set plus any lineage-recovery sets).
+	active map[int]*taskSet
+	// cur is the current stage's primary set.
+	cur *taskSet
+	// stats collects the current stage's per-executor statistics.
+	stats []ExecutorStageStats
+
+	lostExecs     int
+	resubmissions int
+	requeues      int
 }
 
 func (e *Engine) runStage(p *sim.Proc, stage *job.StageSpec) (StageReport, error) {
@@ -75,29 +234,24 @@ func (e *Engine) runStage(p *sim.Proc, stage *job.StageSpec) (StageReport, error
 		return StageReport{}, err
 	}
 	meta := stage.Meta()
+	s := e.sched
 
-	st := &stageState{
-		stage:      stage,
-		limits:     make([]int, len(e.executors)),
-		inflight:   make([]int, len(e.executors)),
-		taskDone:   make([]bool, stage.NumTasks),
-		launchAt:   make(map[int]time.Duration),
-		lastExec:   make(map[int]int),
-		noExec:     make(map[int]int),
-		speculated: make(map[int]bool),
-	}
+	ts := newTaskSet(stage, false, nil)
 	if stage.InputFile != "" {
 		f, err := e.fs.Open(stage.InputFile)
 		if err != nil {
 			return StageReport{}, err
 		}
-		st.splits = dfs.Splits(f, stage.NumTasks)
+		ts.splits = dfs.Splits(f, stage.NumTasks)
 	}
-	for i := 0; i < stage.NumTasks; i++ {
-		st.pending = append(st.pending, i)
-	}
+	s.active[stage.ID] = ts
+	s.cur = ts
 	for i, ex := range e.executors {
-		st.limits[i] = e.opts.Policy.InitialThreads(ex.info, meta)
+		if !s.alive[i] {
+			s.limits[i] = 0
+			continue
+		}
+		s.limits[i] = e.opts.Policy.InitialThreads(ex.info, meta)
 		ex.inbox.Send(e.cluster.ControlLatency(), execMsg{stageStart: &stageStartMsg{stage: stage}})
 	}
 
@@ -114,99 +268,67 @@ func (e *Engine) runStage(p *sim.Proc, stage *job.StageSpec) (StageReport, error
 		write0 += w
 		net0 += n.NIC.BytesMoved()
 	}
+	lost0, resub0, requeue0 := s.lostExecs, s.resubmissions, s.requeues
+	recovered0 := e.shuffle.recoveredBytes()
 
-	stats := make([]ExecutorStageStats, len(e.executors))
+	s.stats = make([]ExecutorStageStats, len(e.executors))
 	for i, ex := range e.executors {
-		stats[i] = ExecutorStageStats{
+		s.stats[i] = ExecutorStageStats{
 			Executor:       i,
 			Node:           ex.node.ID,
-			InitialThreads: st.limits[i],
+			InitialThreads: s.limits[i],
 		}
 	}
 
 	e.trace(TraceEvent{Type: TraceStageStart, Stage: stage.ID, Task: -1, Exec: -1,
 		Detail: fmt.Sprintf("%s (%d tasks)", stage.Name, stage.NumTasks)})
-	for i := range e.executors {
-		e.assign(st, i)
-	}
+	// Map outputs lost to crashes during earlier stages must be
+	// regenerated before this stage's reduce tasks can fetch.
+	s.ensureParents(ts)
+	s.assignAll()
 
-	// Event loop: drain completions and thread updates until all tasks
-	// are done. Stages with zero tasks complete immediately. Failed
-	// attempts are rescheduled up to TaskMaxFailures times (Spark's
-	// task.maxFailures), preferably on a different executor via the
-	// normal assignment path.
-	attempts := make(map[int]int)
-	var retries, speculative int
-	for st.done < stage.NumTasks {
+	// Event loop: drain completions, thread updates and liveness events
+	// until the primary wave is done. Stages with zero tasks complete
+	// immediately. Failed attempts are rescheduled up to TaskMaxFailures
+	// times (Spark's task.maxFailures) on a different executor.
+	for ts.done < ts.total {
 		msg := e.toDriver.Recv(p)
+		var err error
 		switch {
 		case msg.taskDone != nil:
-			m := msg.taskDone
-			if m.metrics.Stage != stage.ID {
-				if m.metrics.Stage < stage.ID {
-					// A zombie speculative copy from an earlier
-					// stage finished; its executor slot frees now.
-					continue
-				}
-				return StageReport{}, fmt.Errorf("completion from future stage %d during stage %d", m.metrics.Stage, stage.ID)
-			}
-			if m.err != nil {
-				e.trace(TraceEvent{Type: TraceTaskFail, Stage: stage.ID, Task: m.metrics.Index, Exec: m.exec, Detail: m.err.Error()})
-				attempts[m.metrics.Index]++
-				if attempts[m.metrics.Index] >= e.opts.TaskMaxFailures {
-					return StageReport{}, fmt.Errorf("task %d failed %d times, last on executor %d: %w",
-						m.metrics.Index, attempts[m.metrics.Index], m.exec, m.err)
-				}
-				retries++
-				st.inflight[m.exec]--
-				st.pending = append(st.pending, m.metrics.Index)
-				for i := range e.executors {
-					e.assign(st, (m.exec+1+i)%len(e.executors))
-				}
-				continue
-			}
-			st.inflight[m.exec]--
-			if st.taskDone[m.metrics.Index] {
-				// The other attempt already won the race.
-				e.assign(st, m.exec)
-				continue
-			}
-			st.taskDone[m.metrics.Index] = true
-			st.done++
-			e.trace(TraceEvent{Type: TraceTaskEnd, Stage: stage.ID, Task: m.metrics.Index, Exec: m.exec})
-			st.durations = append(st.durations, m.metrics.Duration())
-			s := &stats[m.exec]
-			s.Tasks++
-			if m.metrics.Local {
-				s.LocalTasks++
-			}
-			s.BlockedIO += m.metrics.BlockedIO
-			s.Bytes += m.metrics.BytesMoved
-			speculative += e.speculate(p, st)
-			e.assign(st, m.exec)
+			err = s.handleTaskDone(p, msg.taskDone)
 		case msg.threads != nil:
-			e.trace(TraceEvent{Type: TraceResize, Stage: stage.ID, Task: -1,
-				Exec: msg.threads.exec, Threads: msg.threads.threads})
-			st.limits[msg.threads.exec] = msg.threads.threads
-			e.assign(st, msg.threads.exec)
+			s.handleThreads(msg.threads)
+		case msg.execLost != nil:
+			err = s.handleExecLost(msg.execLost)
+		case msg.execJoin != nil:
+			s.handleExecJoin(msg.execJoin)
+		}
+		if err != nil {
+			return StageReport{}, err
 		}
 	}
+	delete(s.active, stage.ID)
 
 	e.trace(TraceEvent{Type: TraceStageEnd, Stage: stage.ID, Task: -1, Exec: -1})
-	sort.Slice(st.durations, func(i, j int) bool { return st.durations[i] < st.durations[j] })
+	sort.Slice(ts.durations, func(i, j int) bool { return ts.durations[i] < ts.durations[j] })
 	sr := StageReport{
-		ID:       stage.ID,
-		Name:     stage.Name,
-		IOMarked: stage.IOMarked(),
-		Start:    start,
-		End:      p.Now(),
-		Retries:  retries,
+		ID:                stage.ID,
+		Name:              stage.Name,
+		IOMarked:          stage.IOMarked(),
+		Start:             start,
+		End:               p.Now(),
+		Retries:           ts.retries,
+		Speculative:       ts.speculative,
+		LostExecutors:     s.lostExecs - lost0,
+		ResubmittedStages: s.resubmissions - resub0,
+		Requeued:          s.requeues - requeue0,
+		RecoveredBytes:    e.shuffle.recoveredBytes() - recovered0,
 	}
-	sr.Speculative = speculative
-	if n := len(st.durations); n > 0 {
-		sr.TaskP50 = st.durations[n/2]
-		sr.TaskP95 = st.durations[n*95/100]
-		sr.TaskMax = st.durations[n-1]
+	if n := len(ts.durations); n > 0 {
+		sr.TaskP50 = ts.durations[n/2]
+		sr.TaskP95 = ts.durations[n*95/100]
+		sr.TaskMax = ts.durations[n-1]
 	}
 	vcores := e.opts.Cluster.CPU.VirtualCores
 	for i, n := range e.cluster.Nodes() {
@@ -228,12 +350,383 @@ func (e *Engine) runStage(p *sim.Proc, stage *job.StageSpec) (StageReport, error
 	sr.DiskWriteBytes -= write0
 	sr.NetBytes -= net0
 	for i, ex := range e.executors {
-		stats[i].FinalThreads = ex.limit
+		s.stats[i].FinalThreads = ex.limit
 		sr.ThreadsTotal += ex.limit
 		sr.MaxThreadsTotal += ex.info.MaxThreads
 	}
-	sr.Execs = stats
+	sr.Execs = s.stats
 	return sr, nil
+}
+
+// handleTaskDone routes a completion to its task set by stage ID.
+func (s *scheduler) handleTaskDone(p *sim.Proc, m *taskDoneMsg) error {
+	e := s.eng
+	if m.epoch != s.epochs[m.exec] {
+		// A stale incarnation's message; its slots were reclaimed when
+		// the loss was detected.
+		return nil
+	}
+	s.inflight[m.exec]--
+	ts := s.active[m.metrics.Stage]
+	if ts == nil {
+		// A zombie from a finished stage (e.g. a losing speculative
+		// copy); its executor slot frees now.
+		s.assign(m.exec)
+		return nil
+	}
+	idx := m.metrics.Index
+	ts.dropCopy(idx, m.exec)
+
+	if m.err != nil {
+		e.trace(TraceEvent{Type: TraceTaskFail, Stage: ts.stage.ID, Task: idx, Exec: m.exec, Detail: m.err.Error()})
+		if ts.taskDone[idx] {
+			// The other attempt already won; nothing to redo.
+			s.assign(m.exec)
+			return nil
+		}
+		var ff *fetchFailedError
+		if errors.As(m.err, &ff) {
+			// Real map output died with a node. Not the task's
+			// fault: requeue without charging an attempt, and
+			// resubmit the lost parent map tasks (lineage).
+			ts.pending = append(ts.pending, idx)
+			s.requeues++
+			s.ensureParents(ts)
+			s.assignAll()
+			return nil
+		}
+		ts.attempts[idx]++
+		if ts.attempts[idx] >= e.opts.TaskMaxFailures {
+			return fmt.Errorf("task %d failed %d times, last on executor %d: %w",
+				idx, ts.attempts[idx], m.exec, m.err)
+		}
+		ts.retries++
+		// Retry genuinely avoids the executor that just failed it.
+		ts.noExec[idx] = m.exec
+		s.noteFailure(m.exec, ts.stage.ID)
+		ts.pending = append(ts.pending, idx)
+		for i := range e.executors {
+			s.assign((m.exec + 1 + i) % len(e.executors))
+		}
+		return nil
+	}
+
+	s.failStreak[m.exec] = 0
+	if ts.taskDone[idx] {
+		// The other attempt already won the race.
+		s.assign(m.exec)
+		return nil
+	}
+	ts.taskDone[idx] = true
+	ts.done++
+	e.trace(TraceEvent{Type: TraceTaskEnd, Stage: ts.stage.ID, Task: idx, Exec: m.exec})
+	if ts == s.cur {
+		ts.durations = append(ts.durations, m.metrics.Duration())
+		st := &s.stats[m.exec]
+		st.Tasks++
+		if m.metrics.Local {
+			st.LocalTasks++
+		}
+		st.BlockedIO += m.metrics.BlockedIO
+		st.Bytes += m.metrics.BytesMoved
+		ts.speculative += e.speculate(p, ts)
+	}
+	if ts.recovery && ts.done >= ts.total {
+		// The lost map outputs are regenerated; dependents unblock.
+		delete(s.active, ts.stage.ID)
+		e.trace(TraceEvent{Type: TraceStageEnd, Stage: ts.stage.ID, Task: -1, Exec: -1, Detail: "recovery complete"})
+		s.assignAll()
+		return nil
+	}
+	s.assign(m.exec)
+	return nil
+}
+
+// handleThreads applies a ThreadCountUpdate to the slot table.
+func (s *scheduler) handleThreads(m *threadsMsg) {
+	if !s.alive[m.exec] || m.epoch != s.epochs[m.exec] {
+		return
+	}
+	stage := -1
+	if s.cur != nil {
+		stage = s.cur.stage.ID
+	}
+	s.eng.trace(TraceEvent{Type: TraceResize, Stage: stage, Task: -1, Exec: m.exec, Threads: m.threads})
+	s.limits[m.exec] = m.threads
+	s.assign(m.exec)
+}
+
+// handleExecLost reacts to a crash: reclaim the executor's slots, requeue
+// its in-flight attempts, un-complete tasks whose registered map output
+// died with the node, and resubmit lost parent outputs other sets depend
+// on.
+func (s *scheduler) handleExecLost(m *execLostMsg) error {
+	e := s.eng
+	if !s.alive[m.exec] && s.epochs[m.exec] >= m.epoch {
+		return nil
+	}
+	s.alive[m.exec] = false
+	s.epochs[m.exec] = m.epoch
+	s.limits[m.exec] = 0
+	s.inflight[m.exec] = 0
+	s.failStreak[m.exec] = 0
+	s.blacklisted[m.exec] = false
+	s.lostExecs++
+
+	for _, id := range s.activeIDs() {
+		ts := s.active[id]
+		// Requeue attempts that were running on the dead executor.
+		for _, task := range ts.tasksOn(m.exec) {
+			ts.dropCopy(task, m.exec)
+			if !ts.taskDone[task] && !ts.inFlight(task) && !ts.isPending(task) {
+				ts.pending = append(ts.pending, task)
+				s.requeues++
+			}
+		}
+		// Un-complete tasks whose shuffle output lived on the dead
+		// node: their results are gone even though they finished.
+		for _, task := range e.shuffle.lostTasks(id) {
+			if ts.contains(task) && ts.taskDone[task] {
+				ts.taskDone[task] = false
+				ts.done--
+				if !ts.inFlight(task) && !ts.isPending(task) {
+					ts.pending = append(ts.pending, task)
+				}
+				s.requeues++
+			}
+		}
+	}
+	// Dependencies of running sets may now have holes in earlier stages.
+	for _, id := range s.activeIDs() {
+		s.ensureParents(s.active[id])
+	}
+	if !s.anyAssignable() && !e.restartPending() {
+		return fmt.Errorf("all executors lost at %s", e.k.Now())
+	}
+	s.assignAll()
+	return nil
+}
+
+// handleExecJoin re-admits a restarted executor: fresh slot count from the
+// policy's initial threads (cmin for the dynamic policy) and the current
+// stage re-sent so its fresh controller starts a new hill climb.
+func (s *scheduler) handleExecJoin(m *execJoinMsg) {
+	if s.alive[m.exec] {
+		return
+	}
+	s.alive[m.exec] = true
+	s.epochs[m.exec] = m.epoch
+	s.failStreak[m.exec] = 0
+	s.blacklisted[m.exec] = false
+	ex := s.eng.executors[m.exec]
+	if s.cur != nil {
+		s.limits[m.exec] = s.eng.opts.Policy.InitialThreads(ex.info, s.cur.stage.Meta())
+		ex.inbox.Send(s.eng.cluster.ControlLatency(), execMsg{stageStart: &stageStartMsg{stage: s.cur.stage}})
+	}
+	s.assign(m.exec)
+}
+
+// noteFailure advances the executor's failure streak and blacklists it
+// after blacklistAfter consecutive failures — provided at least one other
+// executor remains assignable.
+func (s *scheduler) noteFailure(exec, stage int) {
+	s.failStreak[exec]++
+	if s.blacklisted[exec] || s.failStreak[exec] < blacklistAfter {
+		return
+	}
+	for i := range s.alive {
+		if i != exec && s.alive[i] && !s.blacklisted[i] {
+			s.blacklisted[exec] = true
+			s.eng.trace(TraceEvent{Type: TraceBlacklist, Stage: stage, Task: -1, Exec: exec,
+				Detail: fmt.Sprintf("%d consecutive failures", s.failStreak[exec])})
+			return
+		}
+	}
+}
+
+// ensureParents resubmits lost map outputs of every upstream stage ts
+// fetches from (recursively — a recovery set can itself depend on an even
+// earlier stage). Already-running recovery sets are extended in place.
+func (s *scheduler) ensureParents(ts *taskSet) {
+	e := s.eng
+	for _, parent := range ts.stage.ShuffleFrom {
+		lost := e.shuffle.lostTasks(parent)
+		if len(lost) == 0 {
+			continue
+		}
+		if ps := s.active[parent]; ps != nil {
+			if ps.recovery {
+				for _, task := range lost {
+					if !ps.contains(task) {
+						ps.addTask(task)
+					}
+				}
+			}
+			// A non-recovery active parent is the current stage
+			// itself; handleExecLost already requeued its lost
+			// tasks.
+			continue
+		}
+		spec := s.specs[parent]
+		rs := newTaskSet(spec, true, lost)
+		if spec.InputFile != "" {
+			if f, err := e.fs.Open(spec.InputFile); err == nil {
+				rs.splits = dfs.Splits(f, spec.NumTasks)
+			}
+		}
+		s.active[parent] = rs
+		s.resubmissions++
+		e.trace(TraceEvent{Type: TraceStageResubmit, Stage: parent, Task: -1, Exec: -1,
+			Detail: fmt.Sprintf("%d lost map outputs, wanted by stage %d", len(lost), ts.stage.ID)})
+		s.ensureParents(rs)
+	}
+}
+
+// activeIDs returns the running task sets' stage IDs in ascending order,
+// so recovery sets (earlier stages) are served before the current wave.
+func (s *scheduler) activeIDs() []int {
+	ids := make([]int, 0, len(s.active))
+	for id := range s.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// blocked reports whether ts must wait for upstream recovery: launching its
+// reduce tasks now would plan around the lost outputs and under-fetch.
+func (s *scheduler) blocked(ts *taskSet) bool {
+	return len(ts.stage.ShuffleFrom) > 0 && s.eng.shuffle.missing(ts.stage.ShuffleFrom)
+}
+
+// anyAssignable reports whether any executor can still receive tasks.
+func (s *scheduler) anyAssignable() bool {
+	for i := range s.alive {
+		if s.alive[i] && !s.blacklisted[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// otherFree reports whether any executor besides i has a free slot.
+func (s *scheduler) otherFree(i int) bool {
+	for j := range s.alive {
+		if j != i && s.alive[j] && !s.blacklisted[j] && s.inflight[j] < s.limits[j] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scheduler) assignAll() {
+	for i := range s.eng.executors {
+		s.assign(i)
+	}
+}
+
+// assign hands pending tasks to executor i while it has free slots,
+// serving recovery sets before the current wave, preferring tasks whose
+// DFS split is local to the executor's node and honouring per-task
+// executor exclusions.
+func (s *scheduler) assign(i int) {
+	if !s.alive[i] || s.blacklisted[i] {
+		return
+	}
+	for s.inflight[i] < s.limits[i] {
+		ts, pick := s.pickTask(i)
+		if ts == nil {
+			return
+		}
+		s.launch(ts, pick, i)
+	}
+}
+
+// pickTask selects the next pending task executor i should run: first a
+// local non-excluded task, then any non-excluded task, scanning task sets
+// in stage order. If no other executor has free slots, exclusions against
+// i are cleared rather than letting work stall.
+func (s *scheduler) pickTask(i int) (*taskSet, int) {
+	ex := s.eng.executors[i]
+	for _, id := range s.activeIDs() {
+		ts := s.active[id]
+		if len(ts.pending) == 0 || s.blocked(ts) {
+			continue
+		}
+		// First pass: local tasks without an exclusion against i.
+		for j, t := range ts.pending {
+			if excl, ok := ts.noExec[t]; ok && excl == i {
+				continue
+			}
+			if ts.splits != nil {
+				blocks := ts.splits[t]
+				if len(blocks) > 0 && !blocks[0].LocalTo(ex.node.ID) {
+					continue
+				}
+			}
+			return ts, j
+		}
+		// Second pass: any task not excluded from i.
+		for j, t := range ts.pending {
+			if excl, ok := ts.noExec[t]; ok && excl == i {
+				continue
+			}
+			return ts, j
+		}
+	}
+	if !s.otherFree(i) {
+		// Everything pending is excluded from i, but i is the only
+		// executor with free slots: drop the exclusions.
+		for _, id := range s.activeIDs() {
+			ts := s.active[id]
+			if len(ts.pending) == 0 || s.blocked(ts) {
+				continue
+			}
+			for j, t := range ts.pending {
+				if excl, ok := ts.noExec[t]; ok && excl == i {
+					delete(ts.noExec, t)
+					return ts, j
+				}
+			}
+		}
+	}
+	return nil, -1
+}
+
+// launch sends ts.pending[pick] to executor i with a freshly-computed
+// input plan.
+func (s *scheduler) launch(ts *taskSet, pick, i int) {
+	e := s.eng
+	ex := e.executors[i]
+	task := ts.pending[pick]
+	ts.pending = append(ts.pending[:pick], ts.pending[pick+1:]...)
+	s.inflight[i]++
+	ts.copies[task] = append(ts.copies[task], i)
+	if _, seen := ts.launchAt[task]; !seen {
+		ts.launchAt[task] = e.k.Now()
+	}
+	ts.lastExec[task] = i
+	detail := ""
+	if ts.recovery {
+		detail = "recovery"
+	}
+	e.trace(TraceEvent{Type: TraceTaskLaunch, Stage: ts.stage.ID, Task: task, Exec: i, Detail: detail})
+
+	lm := &launchMsg{stage: ts.stage, index: task, attempt: ts.launches[task], epoch: s.epochs[i]}
+	ts.launches[task]++
+	if ts.splits != nil {
+		lm.blocks = ts.splits[task]
+		for _, b := range lm.blocks {
+			lm.inputTotal += b.Size
+		}
+	}
+	if len(ts.stage.ShuffleFrom) > 0 {
+		lm.segments = e.shuffle.reducePlan(ts.stage.ShuffleFrom, ts.stage.NumTasks, task)
+		for _, seg := range lm.segments {
+			lm.inputTotal += seg.bytes
+		}
+	}
+	ex.inbox.Send(e.cluster.ControlLatency(), execMsg{launch: lm})
 }
 
 // resolveTasks fills in the stage's task count from its input layout.
@@ -259,95 +752,41 @@ func (e *Engine) resolveTasks(stage *job.StageSpec) error {
 // done (Spark's speculation): tasks still running past Multiplier× the
 // median completed duration are re-queued for a different executor. Each
 // task is speculated at most once. It returns the number of copies queued.
-func (e *Engine) speculate(p *sim.Proc, st *stageState) int {
-	if !e.opts.Speculation || len(st.durations) == 0 {
+// Tasks are scanned in sorted index order — launchAt is a map, and Go's
+// random map order would otherwise queue simultaneous stragglers in a
+// different order every run, breaking determinism.
+func (e *Engine) speculate(p *sim.Proc, ts *taskSet) int {
+	if !e.opts.Speculation || len(ts.durations) == 0 {
 		return 0
 	}
-	if float64(st.done) < e.opts.SpeculationQuantile*float64(st.stage.NumTasks) {
+	if float64(ts.done) < e.opts.SpeculationQuantile*float64(ts.stage.NumTasks) {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), st.durations...)
+	sorted := append([]time.Duration(nil), ts.durations...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	median := sorted[len(sorted)/2]
 	threshold := time.Duration(float64(median) * e.opts.SpeculationMultiplier)
+	tasks := make([]int, 0, len(ts.launchAt))
+	for task := range ts.launchAt {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
 	launched := 0
-	for task, at := range st.launchAt {
-		if st.taskDone[task] || st.speculated[task] {
+	for _, task := range tasks {
+		if ts.taskDone[task] || ts.speculated[task] || !ts.inFlight(task) {
 			continue
 		}
-		if p.Now()-at <= threshold {
+		if p.Now()-ts.launchAt[task] <= threshold {
 			continue
 		}
-		st.speculated[task] = true
-		st.noExec[task] = st.lastExec[task]
-		st.pending = append(st.pending, task)
-		e.trace(TraceEvent{Type: TraceSpeculate, Stage: st.stage.ID, Task: task, Exec: st.lastExec[task]})
+		ts.speculated[task] = true
+		ts.noExec[task] = ts.lastExec[task]
+		ts.pending = append(ts.pending, task)
+		e.trace(TraceEvent{Type: TraceSpeculate, Stage: ts.stage.ID, Task: task, Exec: ts.lastExec[task]})
 		launched++
 	}
 	if launched > 0 {
-		for i := range e.executors {
-			e.assign(st, i)
-		}
+		e.sched.assignAll()
 	}
 	return launched
-}
-
-// assign hands pending tasks to executor i while it has free slots,
-// preferring tasks whose DFS split is local to the executor's node and
-// honouring speculative-copy executor exclusions.
-func (e *Engine) assign(st *stageState, i int) {
-	ex := e.executors[i]
-	for st.inflight[i] < st.limits[i] && len(st.pending) > 0 {
-		pick := -1
-		// First pass: local tasks without an exclusion against i.
-		for j, t := range st.pending {
-			if excl, ok := st.noExec[t]; ok && excl == i {
-				continue
-			}
-			if st.splits != nil {
-				blocks := st.splits[t]
-				if len(blocks) > 0 && !blocks[0].LocalTo(ex.node.ID) {
-					continue
-				}
-			}
-			pick = j
-			break
-		}
-		if pick < 0 {
-			// Second pass: any task not excluded from i.
-			for j, t := range st.pending {
-				if excl, ok := st.noExec[t]; ok && excl == i {
-					continue
-				}
-				pick = j
-				break
-			}
-		}
-		if pick < 0 {
-			return // everything pending is excluded from this executor
-		}
-		task := st.pending[pick]
-		st.pending = append(st.pending[:pick], st.pending[pick+1:]...)
-		st.inflight[i]++
-		if _, seen := st.launchAt[task]; !seen {
-			st.launchAt[task] = e.k.Now()
-		}
-		st.lastExec[task] = i
-		e.trace(TraceEvent{Type: TraceTaskLaunch, Stage: st.stage.ID, Task: task, Exec: i})
-
-		lm := &launchMsg{stage: st.stage, index: task}
-		if st.splits != nil {
-			lm.blocks = st.splits[task]
-			for _, b := range lm.blocks {
-				lm.inputTotal += b.Size
-			}
-		}
-		if len(st.stage.ShuffleFrom) > 0 {
-			lm.segments = e.shuffle.reducePlan(st.stage.ShuffleFrom, st.stage.NumTasks, task)
-			for _, s := range lm.segments {
-				lm.inputTotal += s.bytes
-			}
-		}
-		ex.inbox.Send(e.cluster.ControlLatency(), execMsg{launch: lm})
-	}
 }

@@ -13,6 +13,7 @@ import (
 	"io"
 	"time"
 
+	"sae/internal/chaos"
 	"sae/internal/cluster"
 	"sae/internal/dfs"
 	"sae/internal/engine/job"
@@ -50,6 +51,10 @@ type Options struct {
 	Speculation           bool
 	SpeculationQuantile   float64 // 0 selects 0.75
 	SpeculationMultiplier float64 // 0 selects 1.5
+	// Faults, if set, is a deterministic chaos schedule: executor crashes
+	// (optionally with restart), transient task I/O faults and shuffle
+	// fetch failures, all driven off the sim clock (see package chaos).
+	Faults *chaos.Plan
 	// Inputs are created in the DFS before the job starts.
 	Inputs []Input
 	// OnSetup, if set, runs after the engine is assembled and before the
@@ -71,6 +76,7 @@ type Engine struct {
 	executors []*Executor
 	toDriver  *sim.Mailbox[driverMsg]
 	sink      *traceSink
+	sched     *scheduler
 	done      bool
 }
 
@@ -116,6 +122,9 @@ func Run(opts Options, spec *job.JobSpec) (*JobReport, error) {
 		ex := newExecutor(e, i, node, opts.Policy)
 		e.executors = append(e.executors, ex)
 		k.Go(fmt.Sprintf("executor-%d", i), ex.main)
+	}
+	if !opts.Faults.Empty() {
+		e.scheduleFaults(opts.Faults)
 	}
 
 	var report *JobReport

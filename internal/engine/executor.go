@@ -17,6 +17,13 @@ import (
 // protocol extension). Tasks assigned beyond the current limit — e.g. ones
 // already in flight from the driver when the pool shrank — wait in a local
 // queue, exactly the integrity concern §5.3 discusses.
+//
+// Executors can crash (chaos schedules): a crash bumps the incarnation
+// epoch and drops the local queue. The sim kernel cannot cancel a parked
+// process, so tasks already running become zombies — their remaining I/O
+// and compute no-op (see taskContext) and their completions are never
+// reported. A restarted executor keeps its ID and node but gets a fresh
+// controller, so the MAPE-K loop re-bootstraps from cmin.
 type Executor struct {
 	id   int
 	node *cluster.Node
@@ -30,6 +37,16 @@ type Executor struct {
 	limit   int
 	running int
 	queue   []*launchMsg
+
+	// alive is false between a crash and the matching restart; epoch
+	// counts crashes, so tasks launched before a crash can be told apart
+	// from the current incarnation's.
+	alive    bool
+	epoch    int
+	restarts int
+	// decisionsPrefix preserves the decision logs of pre-crash
+	// controller incarnations.
+	decisionsPrefix []job.Decision
 
 	threadLog  []ThreadChange
 	cumBytes   int64
@@ -46,10 +63,14 @@ type stageStartMsg struct {
 	stage *job.StageSpec
 }
 
-// launchMsg carries one task assignment with its input plan.
+// launchMsg carries one task assignment with its input plan. epoch is the
+// executor incarnation the driver assigned it to: a message crossing a
+// crash or restart in flight is dropped on arrival.
 type launchMsg struct {
 	stage      *job.StageSpec
 	index      int
+	attempt    int
+	epoch      int
 	blocks     []dfs.Block
 	segments   []segment
 	inputTotal int64
@@ -59,10 +80,13 @@ type launchMsg struct {
 type driverMsg struct {
 	taskDone *taskDoneMsg
 	threads  *threadsMsg
+	execLost *execLostMsg
+	execJoin *execJoinMsg
 }
 
 type taskDoneMsg struct {
 	exec    int
+	epoch   int
 	metrics job.TaskMetrics
 	err     error
 }
@@ -71,10 +95,26 @@ type taskDoneMsg struct {
 // scheduler of its new pool size.
 type threadsMsg struct {
 	exec    int
+	epoch   int
 	threads int
 }
 
-// ThreadChange records one pool-size change for reporting (Fig. 6).
+// execLostMsg notifies the driver that an executor crashed (the heartbeat
+// loss signal).
+type execLostMsg struct {
+	exec  int
+	epoch int
+}
+
+// execJoinMsg notifies the driver that a restarted executor is back.
+type execJoinMsg struct {
+	exec  int
+	epoch int
+}
+
+// ThreadChange records one pool-size change for reporting (Fig. 6). A
+// crash logs a change to 0 threads; the restart's fresh controller logs the
+// climb restarting at cmin.
 type ThreadChange struct {
 	At      time.Duration
 	Stage   int
@@ -95,6 +135,7 @@ func newExecutor(eng *Engine, id int, node *cluster.Node, policy job.Policy) *Ex
 		ctrl:  policy.NewController(info),
 		inbox: sim.NewMailbox[execMsg](eng.k),
 		limit: info.MaxThreads,
+		alive: true,
 	}
 }
 
@@ -107,6 +148,12 @@ func (ex *Executor) Node() *cluster.Node { return ex.node }
 // Threads returns the current pool limit.
 func (ex *Executor) Threads() int { return ex.limit }
 
+// Alive reports whether the executor is currently up.
+func (ex *Executor) Alive() bool { return ex.alive }
+
+// Restarts returns how many times the executor came back after a crash.
+func (ex *Executor) Restarts() int { return ex.restarts }
+
 // CumulativeBytes returns the total bytes all tasks of this executor have
 // moved so far — the quantity the throughput sampler differentiates for the
 // Fig. 12 time series.
@@ -115,8 +162,15 @@ func (ex *Executor) CumulativeBytes() int64 { return ex.cumBytes }
 // ThreadLog returns the pool-size change history.
 func (ex *Executor) ThreadLog() []ThreadChange { return ex.threadLog }
 
-// Decisions returns the controller's decision log.
-func (ex *Executor) Decisions() []job.Decision { return ex.ctrl.Decisions() }
+// Decisions returns the controller's decision log, including pre-crash
+// incarnations.
+func (ex *Executor) Decisions() []job.Decision {
+	if len(ex.decisionsPrefix) == 0 {
+		return ex.ctrl.Decisions()
+	}
+	out := append([]job.Decision(nil), ex.decisionsPrefix...)
+	return append(out, ex.ctrl.Decisions()...)
+}
 
 // main is the executor's control loop process.
 func (ex *Executor) main(p *sim.Proc) {
@@ -124,11 +178,17 @@ func (ex *Executor) main(p *sim.Proc) {
 		msg := ex.inbox.Recv(p)
 		switch {
 		case msg.stageStart != nil:
+			if !ex.alive {
+				continue // a dead executor ignores stage broadcasts
+			}
 			ex.stage = msg.stageStart.stage
 			n := ex.ctrl.StageStart(ex.stage.Meta())
 			ex.setLimit(n)
 			ex.drain()
 		case msg.launch != nil:
+			if !ex.alive || msg.launch.epoch != ex.epoch {
+				continue // assignment crossed a crash in flight
+			}
 			if ex.running < ex.limit {
 				ex.start(msg.launch)
 			} else {
@@ -146,16 +206,20 @@ func (ex *Executor) setLimit(n int) {
 		return
 	}
 	ex.limit = n
-	stage := -1
-	if ex.stage != nil {
-		stage = ex.stage.ID
+	ex.threadLog = append(ex.threadLog, ThreadChange{At: ex.eng.k.Now(), Stage: ex.stageID(), Threads: n})
+}
+
+func (ex *Executor) stageID() int {
+	if ex.stage == nil {
+		return -1
 	}
-	ex.threadLog = append(ex.threadLog, ThreadChange{At: ex.eng.k.Now(), Stage: stage, Threads: n})
+	return ex.stage.ID
 }
 
 // start launches one task as its own process.
 func (ex *Executor) start(lm *launchMsg) {
 	ex.running++
+	epoch := ex.epoch
 	ex.eng.k.Go("task", func(p *sim.Proc) {
 		tc := &taskContext{
 			eng:        ex.eng,
@@ -163,6 +227,8 @@ func (ex *Executor) start(lm *launchMsg) {
 			ex:         ex,
 			stage:      lm.stage,
 			index:      lm.index,
+			attempt:    lm.attempt,
+			epoch:      epoch,
 			blocks:     lm.blocks,
 			segments:   lm.segments,
 			inputTotal: lm.inputTotal,
@@ -174,6 +240,11 @@ func (ex *Executor) start(lm *launchMsg) {
 		}
 		tm, err := tc.run(work)
 		ex.running--
+		if ex.epoch != epoch {
+			// Zombie of a crashed incarnation: the driver already
+			// requeued this task at loss detection; report nothing.
+			return
+		}
 		ex.totalTasks++
 		ex.cumBytes += tm.BytesMoved
 
@@ -186,11 +257,11 @@ func (ex *Executor) start(lm *launchMsg) {
 		if changed {
 			ex.setLimit(threads)
 			ex.eng.toDriver.Send(ex.eng.cluster.ControlLatency(), driverMsg{
-				threads: &threadsMsg{exec: ex.id, threads: threads},
+				threads: &threadsMsg{exec: ex.id, epoch: ex.epoch, threads: threads},
 			})
 		}
 		ex.eng.toDriver.Send(ex.eng.cluster.ControlLatency(), driverMsg{
-			taskDone: &taskDoneMsg{exec: ex.id, metrics: tm, err: err},
+			taskDone: &taskDoneMsg{exec: ex.id, epoch: ex.epoch, metrics: tm, err: err},
 		})
 		ex.drain()
 	})

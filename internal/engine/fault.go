@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"sae/internal/chaos"
+)
+
+// Fault-path errors. Injected transients go through the normal retry path
+// (they count against task.maxFailures, which the chaos plan's attempt
+// budget keeps below the abort threshold); a fetchFailedError means real
+// map output died with a node and triggers lineage recovery instead.
+var (
+	// errExecutorLost aborts a zombie task's remaining work after its
+	// executor crashed. It never reaches the driver — zombie completions
+	// are filtered at the executor.
+	errExecutorLost = errors.New("executor lost")
+	// errInjectedIO is a chaos-injected transient task I/O fault.
+	errInjectedIO = errors.New("injected I/O fault")
+	// errInjectedFetch is a chaos-injected transient shuffle-fetch
+	// failure.
+	errInjectedFetch = errors.New("injected fetch failure")
+)
+
+// fetchFailedError reports a shuffle fetch against map output that no
+// longer exists: the plan's source node lost its shuffle files after the
+// plan was computed (Spark's FetchFailedException).
+type fetchFailedError struct {
+	node int
+}
+
+func (e *fetchFailedError) Error() string {
+	return fmt.Sprintf("fetch failed: map output on node %d was lost", e.node)
+}
+
+// scheduleFaults arms the chaos plan's crash schedule on the sim clock.
+// Crashes and restarts run in event context: they only flip state and post
+// mailbox messages, never park.
+func (e *Engine) scheduleFaults(plan *chaos.Plan) {
+	for _, c := range plan.SortedCrashes() {
+		if c.Exec < 0 || c.Exec >= len(e.executors) {
+			continue
+		}
+		c := c
+		e.k.At(c.At, func() { e.crashExecutor(c.Exec) })
+		if c.RestartAfter > 0 {
+			e.k.At(c.At+c.RestartAfter, func() { e.restartExecutor(c.Exec) })
+		}
+	}
+}
+
+// crashExecutor kills executor i at the current virtual time: its local
+// queue and shuffle files are gone, running tasks become zombies, and the
+// driver is notified with control-plane latency (loss detection delay).
+func (e *Engine) crashExecutor(i int) {
+	if e.done {
+		return
+	}
+	ex := e.executors[i]
+	if !ex.alive {
+		return
+	}
+	ex.alive = false
+	ex.epoch++
+	ex.queue = nil
+	ex.threadLog = append(ex.threadLog, ThreadChange{At: e.k.Now(), Stage: ex.stageID(), Threads: 0})
+	// The node's local shuffle files die with the executor process; DFS
+	// blocks survive (the datanode is a separate process).
+	e.shuffle.removeNode(ex.node.ID)
+	e.trace(TraceEvent{Type: TraceExecLost, Stage: ex.stageID(), Task: -1, Exec: i, Detail: "crash"})
+	e.toDriver.Send(e.cluster.ControlLatency(), driverMsg{
+		execLost: &execLostMsg{exec: i, epoch: ex.epoch},
+	})
+}
+
+// restartExecutor brings executor i back with a fresh controller: the
+// MAPE-K loop bootstraps again from cmin, and the driver re-establishes the
+// ThreadCountUpdate flow by re-sending the current stage.
+func (e *Engine) restartExecutor(i int) {
+	if e.done {
+		return
+	}
+	ex := e.executors[i]
+	if ex.alive {
+		return
+	}
+	ex.alive = true
+	ex.restarts++
+	ex.decisionsPrefix = append(ex.decisionsPrefix, ex.ctrl.Decisions()...)
+	ex.ctrl = e.opts.Policy.NewController(ex.info)
+	e.trace(TraceEvent{Type: TraceExecRestart, Stage: ex.stageID(), Task: -1, Exec: i})
+	e.toDriver.Send(e.cluster.ControlLatency(), driverMsg{
+		execJoin: &execJoinMsg{exec: i, epoch: ex.epoch},
+	})
+}
+
+// restartPending reports whether the fault schedule still owes a restart
+// for a currently-dead executor — if so, a fully-dark cluster should wait
+// rather than abort.
+func (e *Engine) restartPending() bool {
+	plan := e.opts.Faults
+	if plan == nil {
+		return false
+	}
+	now := e.k.Now()
+	for _, c := range plan.Crashes {
+		if c.RestartAfter <= 0 || c.Exec < 0 || c.Exec >= len(e.executors) {
+			continue
+		}
+		if !e.executors[c.Exec].alive && c.At+c.RestartAfter > now {
+			return true
+		}
+	}
+	return false
+}

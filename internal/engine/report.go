@@ -67,6 +67,16 @@ type StageReport struct {
 	TaskP50 time.Duration
 	TaskP95 time.Duration
 	TaskMax time.Duration
+
+	// Fault-recovery activity during the stage window.
+	LostExecutors     int
+	ResubmittedStages int
+	// Requeued counts task attempts put back in the queue by executor
+	// loss or stale fetch plans (distinct from Retries, which are the
+	// task's own failures).
+	Requeued int
+	// RecoveredBytes is shuffle output re-registered by lineage recovery.
+	RecoveredBytes int64
 }
 
 // Duration returns the stage's wall time.
@@ -108,6 +118,11 @@ type JobReport struct {
 	DiskWriteBytes int64
 	NetBytes       int64
 
+	// Fault-recovery totals for the run.
+	LostExecutors     int
+	ResubmittedStages int
+	RecoveredBytes    int64
+
 	// Decisions holds each executor's controller decision log.
 	Decisions [][]job.Decision
 	// ThreadLogs holds each executor's pool-size change history (Fig. 6).
@@ -141,6 +156,10 @@ func (jr *JobReport) String() string {
 		fmt.Fprintf(&b, "  stage %d %-12s %8.1fs  threads %-8s cpu %5.1f%% iowait %5.1f%% disk %5.1f%%\n",
 			st.ID, st.Name, st.Duration().Seconds(), st.ThreadsLabel(),
 			st.CPUPercent, st.IowaitPercent, st.DiskUtilPercent)
+	}
+	if jr.LostExecutors > 0 || jr.ResubmittedStages > 0 || jr.RecoveredBytes > 0 {
+		fmt.Fprintf(&b, "  faults: %d executor(s) lost, %d stage(s) resubmitted, %.2f GiB recovered\n",
+			jr.LostExecutors, jr.ResubmittedStages, float64(jr.RecoveredBytes)/(1<<30))
 	}
 	return b.String()
 }

@@ -5,59 +5,161 @@ import (
 	"sort"
 )
 
-// shuffleRegistry tracks map-output placement, like Spark's
+// mapOutput is one map task's registered shuffle output.
+type mapOutput struct {
+	task  int
+	node  int
+	bytes int64
+	// lost marks output that died with its node (executor crash) and has
+	// not been regenerated yet.
+	lost bool
+}
+
+// shuffleRegistry tracks map-output placement per task, like Spark's
 // MapOutputTracker: each completed map task registers how many bytes of
 // shuffle data it spilled on which node; reduce tasks of downstream stages
-// fetch their share from each source node.
+// fetch their share from each source node. When an executor is lost, every
+// output on its node is invalidated and the driver resubmits the owning
+// map tasks (lineage recovery); regenerated registrations replace the lost
+// entries and are counted as recovered bytes.
 type shuffleRegistry struct {
-	// perNode[stage][node] is the total map-output bytes stage left on node.
-	perNode map[int]map[int]int64
-	total   map[int]int64
+	// outputs[stage] lists registered map outputs in registration order.
+	outputs map[int][]mapOutput
+	// index[stage][task] locates a task's entry in outputs[stage].
+	index map[int]map[int]int
+	// nodeGen[node] counts losses on node; fetch plans snapshot it so a
+	// plan computed before a loss fails validation even after the lost
+	// outputs were regenerated elsewhere.
+	nodeGen map[int]int
+	// recovered is the total bytes re-registered for lost outputs.
+	recovered int64
 }
 
 func newShuffleRegistry() *shuffleRegistry {
-	return &shuffleRegistry{perNode: make(map[int]map[int]int64), total: make(map[int]int64)}
+	return &shuffleRegistry{
+		outputs: make(map[int][]mapOutput),
+		index:   make(map[int]map[int]int),
+		nodeGen: make(map[int]int),
+	}
 }
 
-// addMapOutput registers bytes of stage's shuffle output spilled on node.
-func (r *shuffleRegistry) addMapOutput(stage, node int, bytes int64) {
+// addMapOutput registers bytes of shuffle output that task of stage spilled
+// on node. The first successful registration wins (a losing speculative
+// copy's duplicate is dropped); a registration for a lost entry replaces it
+// and counts as recovery.
+func (r *shuffleRegistry) addMapOutput(stage, task, node int, bytes int64) {
 	if bytes <= 0 {
 		return
 	}
-	m := r.perNode[stage]
-	if m == nil {
-		m = make(map[int]int64)
-		r.perNode[stage] = m
+	idx := r.index[stage]
+	if idx == nil {
+		idx = make(map[int]int)
+		r.index[stage] = idx
 	}
-	m[node] += bytes
-	r.total[stage] += bytes
+	if slot, ok := idx[task]; ok {
+		out := &r.outputs[stage][slot]
+		if !out.lost {
+			return // an earlier attempt already won
+		}
+		r.recovered += bytes
+		*out = mapOutput{task: task, node: node, bytes: bytes}
+		return
+	}
+	idx[task] = len(r.outputs[stage])
+	r.outputs[stage] = append(r.outputs[stage], mapOutput{task: task, node: node, bytes: bytes})
 }
 
-// totalBytes returns stage's total registered shuffle output.
-func (r *shuffleRegistry) totalBytes(stage int) int64 { return r.total[stage] }
+// totalBytes returns stage's total currently-valid shuffle output.
+func (r *shuffleRegistry) totalBytes(stage int) int64 {
+	var total int64
+	for _, out := range r.outputs[stage] {
+		if !out.lost {
+			total += out.bytes
+		}
+	}
+	return total
+}
 
-// segment is one reduce-side fetch from a source node.
+// removeNode invalidates every registered map output on node (the node's
+// executor crashed, taking its local shuffle files with it) and bumps the
+// node's generation so outstanding fetch plans go stale.
+func (r *shuffleRegistry) removeNode(node int) {
+	r.nodeGen[node]++
+	for stage := range r.outputs {
+		outs := r.outputs[stage]
+		for i := range outs {
+			if outs[i].node == node {
+				outs[i].lost = true
+			}
+		}
+	}
+}
+
+// lostTasks returns the sorted task indices of stage whose registered
+// output is currently lost.
+func (r *shuffleRegistry) lostTasks(stage int) []int {
+	var tasks []int
+	for _, out := range r.outputs[stage] {
+		if out.lost {
+			tasks = append(tasks, out.task)
+		}
+	}
+	sort.Ints(tasks)
+	return tasks
+}
+
+// missing reports whether any of the given stages has lost output, i.e.
+// whether a reduce task fetching from them would under-read.
+func (r *shuffleRegistry) missing(from []int) bool {
+	for _, stage := range from {
+		for _, out := range r.outputs[stage] {
+			if out.lost {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recoveredBytes returns the total bytes regenerated for lost outputs.
+func (r *shuffleRegistry) recoveredBytes() int64 { return r.recovered }
+
+// segment is one reduce-side fetch from a source node. gen snapshots the
+// node's loss generation at plan time; segmentValid compares it at fetch
+// time, so a reduce task holding a plan from before a crash fails its fetch
+// instead of silently reading a dead node's data.
 type segment struct {
 	node  int
 	bytes int64
+	gen   int
+}
+
+// segmentValid reports whether a fetch plan segment is still current.
+func (r *shuffleRegistry) segmentValid(s segment) bool {
+	return r.nodeGen[s.node] == s.gen
 }
 
 // reducePlan returns the per-source-node fetch plan for reduce task idx of
 // numTasks, pulling from the given upstream stages. Shares divide evenly
 // with remainders to the lowest task indices, and segments are ordered by
-// node for determinism.
+// node for determinism. Lost outputs are excluded — the driver must not
+// launch reduce tasks while any upstream output is missing (see
+// shuffleRegistry.missing).
 func (r *shuffleRegistry) reducePlan(from []int, numTasks, idx int) []segment {
 	if numTasks <= 0 {
 		panic(fmt.Sprintf("engine: reducePlan with %d tasks", numTasks))
 	}
 	byNode := make(map[int]int64)
 	for _, st := range from {
-		for node, bytes := range r.perNode[st] {
-			base := bytes / int64(numTasks)
-			if int64(idx) < bytes%int64(numTasks) {
+		for _, out := range r.outputs[st] {
+			if out.lost {
+				continue
+			}
+			base := out.bytes / int64(numTasks)
+			if int64(idx) < out.bytes%int64(numTasks) {
 				base++
 			}
-			byNode[node] += base
+			byNode[out.node] += base
 		}
 	}
 	nodes := make([]int, 0, len(byNode))
@@ -68,7 +170,7 @@ func (r *shuffleRegistry) reducePlan(from []int, numTasks, idx int) []segment {
 	plan := make([]segment, 0, len(nodes))
 	for _, n := range nodes {
 		if byNode[n] > 0 {
-			plan = append(plan, segment{node: n, bytes: byNode[n]})
+			plan = append(plan, segment{node: n, bytes: byNode[n], gen: r.nodeGen[n]})
 		}
 	}
 	return plan

@@ -19,12 +19,32 @@ import (
 // so epoll-style blocked time is the contention-induced share of the wait.
 // This is what makes ε grow steeply with thread count on saturated HDDs
 // (Fig. 7) while staying near zero on SSDs (§6.3) and on CPU-heavy stages.
+//
+// Fault paths: a sim process cannot be cancelled while parked in a device
+// queue, so a task whose executor crashed keeps running as a zombie — every
+// subsequent device charge no-ops (failed is set to errExecutorLost) and it
+// fast-forwards to completion, where the executor drops its report. Chaos
+// plans additionally inject transient I/O faults (the task aborts partway
+// through its input) and fetch failures; stale fetch plans against lost map
+// output abort with fetchFailedError, the driver's lineage-recovery signal.
 type taskContext struct {
-	eng   *Engine
-	p     *sim.Proc
-	ex    *Executor
-	stage *job.StageSpec
-	index int
+	eng     *Engine
+	p       *sim.Proc
+	ex      *Executor
+	stage   *job.StageSpec
+	index   int
+	attempt int
+	// epoch is the executor incarnation that launched this task; when it
+	// differs from the executor's current epoch the task is a zombie.
+	epoch int
+
+	// failed aborts all further device activity once set.
+	failed error
+	// faultAt, if ≥ 0, injects a transient I/O fault once bytesMoved
+	// crosses it.
+	faultAt int64
+	// fetchFault injects one transient shuffle-fetch failure.
+	fetchFault bool
 
 	// input plan
 	blocks   []dfs.Block // remaining DFS blocks (first partially consumed)
@@ -50,6 +70,19 @@ func (tc *taskContext) Stage() *job.StageSpec { return tc.stage }
 func (tc *taskContext) Index() int            { return tc.index }
 func (tc *taskContext) InputBytes() int64     { return tc.inputTotal }
 
+// aborted reports (and latches) whether the task must stop charging
+// devices: either a fault struck or its executor crashed underneath it.
+func (tc *taskContext) aborted() bool {
+	if tc.failed != nil {
+		return true
+	}
+	if tc.ex.epoch != tc.epoch {
+		tc.failed = errExecutorLost
+		return true
+	}
+	return false
+}
+
 // diskRead reads bytes from node's disk, attributing contention wait to ε.
 func (tc *taskContext) diskRead(node int, bytes int64) {
 	d := tc.eng.cluster.Node(node).Disk
@@ -71,11 +104,14 @@ func (tc *taskContext) diskWrite(node int, bytes int64) {
 // ReadInput implements job.TaskContext: consume up to max bytes of the
 // task's DFS split, then of its shuffle fetch plan.
 func (tc *taskContext) ReadInput(max int64) int64 {
-	if max <= 0 {
+	if max <= 0 || tc.aborted() {
 		return 0
 	}
 	var read int64
 	for read < max && len(tc.blocks) > 0 {
+		if tc.aborted() {
+			break
+		}
 		b := tc.blocks[0]
 		n := b.Size - tc.blockOff
 		if budget := max - read; n > budget {
@@ -95,9 +131,26 @@ func (tc *taskContext) ReadInput(max int64) int64 {
 			tc.blocks = tc.blocks[1:]
 			tc.blockOff = 0
 		}
+		if tc.injectFault(read) {
+			break
+		}
 	}
 	for read < max && len(tc.segments) > 0 {
+		if tc.aborted() {
+			break
+		}
 		s := tc.segments[0]
+		if !tc.eng.shuffle.segmentValid(s) {
+			// The plan predates a node loss: the map output this
+			// segment points at is gone (FetchFailedException).
+			tc.failed = &fetchFailedError{node: s.node}
+			break
+		}
+		if tc.fetchFault {
+			tc.fetchFault = false
+			tc.failed = errInjectedFetch
+			break
+		}
 		n := s.bytes - tc.segOff
 		if budget := max - read; n > budget {
 			n = budget
@@ -113,15 +166,29 @@ func (tc *taskContext) ReadInput(max int64) int64 {
 			tc.segments = tc.segments[1:]
 			tc.segOff = 0
 		}
+		if tc.injectFault(read) {
+			break
+		}
 	}
 	tc.bytesMoved += read
 	return read
 }
 
+// injectFault fires the scheduled transient I/O fault once the task's
+// cumulative input crosses the fault point.
+func (tc *taskContext) injectFault(pendingRead int64) bool {
+	if tc.faultAt < 0 || tc.bytesMoved+pendingRead < tc.faultAt {
+		return false
+	}
+	tc.faultAt = -1
+	tc.failed = errInjectedIO
+	return true
+}
+
 // Compute implements job.TaskContext. Memory pressure inflates the charge
 // with the executor's current concurrency (see job.StageSpec.MemPressure).
 func (tc *taskContext) Compute(seconds float64) {
-	if seconds <= 0 {
+	if seconds <= 0 || tc.aborted() {
 		return
 	}
 	if mp := tc.stage.MemPressure; mp > 0 {
@@ -136,7 +203,7 @@ func (tc *taskContext) Compute(seconds float64) {
 
 // WriteShuffle implements job.TaskContext: spill map output to local disk.
 func (tc *taskContext) WriteShuffle(bytes int64) {
-	if bytes <= 0 {
+	if bytes <= 0 || tc.aborted() {
 		return
 	}
 	tc.diskWrite(tc.ex.node.ID, bytes)
@@ -146,7 +213,7 @@ func (tc *taskContext) WriteShuffle(bytes int64) {
 
 // WriteOutput implements job.TaskContext: write DFS output.
 func (tc *taskContext) WriteOutput(bytes int64) {
-	if bytes <= 0 || tc.stage.OutputFile == "" {
+	if bytes <= 0 || tc.stage.OutputFile == "" || tc.aborted() {
 		return
 	}
 	ov := tc.ex.node.Disk.OverloadAhead()
@@ -163,7 +230,7 @@ func (tc *taskContext) WriteOutput(bytes int64) {
 // work amplification as goodput would reward exactly the contention the
 // controller exists to avoid.
 func (tc *taskContext) Spill(bytes int64) {
-	if bytes <= 0 {
+	if bytes <= 0 || tc.aborted() {
 		return
 	}
 	tc.diskWrite(tc.ex.node.ID, bytes)
@@ -180,12 +247,25 @@ func (tc *taskContext) VirtualCores() int { return tc.ex.node.CPU.Spec().Virtual
 func (tc *taskContext) run(work job.Work) (job.TaskMetrics, error) {
 	start := tc.p.Now()
 	disk0 := tc.ex.node.Disk.Snapshot()
+	tc.faultAt = -1
+	if f := tc.eng.opts.Faults; f != nil {
+		budget := tc.eng.opts.TaskMaxFailures - 1
+		if ok, frac := f.TaskFault(tc.stage.ID, tc.index, tc.attempt, budget); ok {
+			tc.faultAt = int64(frac * float64(tc.inputTotal))
+		}
+		if len(tc.segments) > 0 {
+			tc.fetchFault = f.FetchFault(tc.stage.ID, tc.index, tc.attempt, budget)
+		}
+	}
 	// Task launch overhead: deserialization and setup burn a little CPU,
 	// as in Spark.
 	tc.Compute(tc.eng.opts.TaskOverheadCPUSeconds)
 	err := work.Execute(tc)
-	if tc.shuffleOut > 0 {
-		tc.eng.shuffle.addMapOutput(tc.stage.ID, tc.ex.node.ID, tc.shuffleOut)
+	if err == nil {
+		err = tc.failed
+	}
+	if tc.shuffleOut > 0 && err == nil && tc.ex.epoch == tc.epoch {
+		tc.eng.shuffle.addMapOutput(tc.stage.ID, tc.index, tc.ex.node.ID, tc.shuffleOut)
 	}
 	disk1 := tc.ex.node.Disk.Snapshot()
 	busyFrac := 0.0

@@ -32,6 +32,11 @@ const (
 	TraceTaskFail   = "task_fail"
 	TraceResize     = "resize"
 	TraceSpeculate  = "speculate"
+	// Fault-path events (chaos schedules and recovery).
+	TraceExecLost      = "exec_lost"
+	TraceExecRestart   = "exec_restart"
+	TraceStageResubmit = "stage_resubmit"
+	TraceBlacklist     = "blacklist"
 )
 
 // traceSink serializes events to the configured writer.

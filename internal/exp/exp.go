@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"sae/internal/chaos"
 	"sae/internal/cluster"
 	"sae/internal/conf"
 	"sae/internal/device"
@@ -30,6 +31,9 @@ type Setup struct {
 	// Config, if set, applies a Spark-style configuration registry to
 	// every run (wired parameters only; see engine.ApplyConfig).
 	Config *conf.Registry
+	// Faults, if set, applies a deterministic chaos schedule to every run
+	// (see package chaos and the faults experiment).
+	Faults *chaos.Plan
 	// Trace, if set, receives the engine event log of every run.
 	Trace io.Writer
 }
@@ -57,6 +61,12 @@ func (s Setup) WithNodes(n int) Setup {
 	return s
 }
 
+// WithFaults returns a copy applying the given chaos schedule to every run.
+func (s Setup) WithFaults(plan *chaos.Plan) Setup {
+	s.Faults = plan
+	return s
+}
+
 func (s Setup) workloadConfig() workloads.Config {
 	return workloads.Config{Nodes: s.Nodes, Scale: s.Scale}
 }
@@ -74,6 +84,7 @@ func (s Setup) Run(w *workloads.Spec, policy job.Policy, onSetup func(*engine.En
 		Cluster:   s.clusterConfig(),
 		BlockSize: w.BlockSize,
 		Policy:    policy,
+		Faults:    s.Faults,
 		Inputs:    w.Inputs,
 		OnSetup:   onSetup,
 		Trace:     s.Trace,

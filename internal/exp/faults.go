@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"sae/internal/chaos"
+	"sae/internal/core"
+	"sae/internal/engine/job"
+	"sae/internal/workloads"
+)
+
+// FaultsRow is one (policy, schedule) cell of the fault-tolerance matrix.
+type FaultsRow struct {
+	Policy   string
+	Schedule string
+	Seconds  float64
+	// DegradedPct is the runtime increase over the same policy's quiet
+	// run.
+	DegradedPct       float64
+	LostExecutors     int
+	ResubmittedStages int
+	Requeued          int
+	Retries           int
+	RecoveredGiB      float64
+}
+
+// FaultsResult is the fault-tolerance experiment: Terasort under
+// deterministic chaos schedules, for each executor-sizing policy. It
+// answers two questions the paper leaves open: does the adaptive sizing
+// machinery survive the failure modes a real cluster throws at it
+// (crashes, crash-restarts, transient I/O faults), and how much of the
+// policy's advantage survives a degraded run.
+type FaultsResult struct {
+	Rows []FaultsRow
+}
+
+// Faults runs Terasort under each policy × chaos schedule. Per policy, a
+// quiet calibration run fixes the fault times: the crash lands at 45% of
+// that policy's own quiet runtime (mid-sort — map outputs exist and the
+// shuffle is in flight), the restart 20% later.
+func Faults(s Setup) (*FaultsResult, error) {
+	policies := []job.Policy{
+		core.Default{},
+		core.Static{IOThreads: 8},
+		core.DefaultDynamic(),
+	}
+	res := &FaultsResult{}
+	w := workloads.Terasort(s.workloadConfig())
+	for _, pol := range policies {
+		quiet, err := s.WithFaults(nil).Run(w, pol, nil)
+		if err != nil {
+			return nil, fmt.Errorf("faults %s quiet: %w", pol.Name(), err)
+		}
+		crashAt := quiet.Runtime * 45 / 100
+		restartAfter := quiet.Runtime * 20 / 100
+		schedules := []*chaos.Plan{
+			nil,
+			chaos.CrashAt(1, crashAt),
+			chaos.CrashRestart(1, crashAt, restartAfter),
+			chaos.Flaky(0.02, s.Seed),
+		}
+		for _, plan := range schedules {
+			rep := quiet
+			if !plan.Empty() {
+				rep, err = s.WithFaults(plan).Run(w, pol, nil)
+				if err != nil {
+					return nil, fmt.Errorf("faults %s %s: %w", pol.Name(), plan, err)
+				}
+			}
+			row := FaultsRow{
+				Policy:            pol.Name(),
+				Schedule:          plan.String(),
+				Seconds:           rep.Runtime.Seconds(),
+				LostExecutors:     rep.LostExecutors,
+				ResubmittedStages: rep.ResubmittedStages,
+				RecoveredGiB:      workloads.GiB(rep.RecoveredBytes),
+			}
+			for _, st := range rep.Stages {
+				row.Requeued += st.Requeued
+				row.Retries += st.Retries
+			}
+			if quiet.Runtime > 0 {
+				row.DegradedPct = 100 * (rep.Runtime.Seconds() - quiet.Runtime.Seconds()) / quiet.Runtime.Seconds()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Get returns the row for (policy, schedule).
+func (r *FaultsResult) Get(policy, schedule string) (FaultsRow, bool) {
+	for _, row := range r.Rows {
+		if row.Policy == policy && row.Schedule == schedule {
+			return row, true
+		}
+	}
+	return FaultsRow{}, false
+}
+
+func (r *FaultsResult) String() string {
+	var b strings.Builder
+	b.WriteString("Faults — Terasort under deterministic chaos schedules\n")
+	fmt.Fprintf(&b, "  %-16s %-22s %9s %9s %5s %7s %7s %7s %9s\n",
+		"policy", "schedule", "runtime", "degraded", "lost", "resub", "requeue", "retries", "recovered")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s %-22s %8.1fs %+8.1f%% %5d %7d %7d %7d %8.2fG\n",
+			row.Policy, row.Schedule, row.Seconds, row.DegradedPct,
+			row.LostExecutors, row.ResubmittedStages, row.Requeued, row.Retries, row.RecoveredGiB)
+	}
+	return b.String()
+}
+
+// CSVTables implements Tabular.
+func (r *FaultsResult) CSVTables() map[string][][]string {
+	rows := [][]string{{"policy", "schedule", "seconds", "degraded_pct",
+		"lost_executors", "resubmitted_stages", "requeued", "retries", "recovered_gib"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Policy, row.Schedule, ftoa(row.Seconds), ftoa(row.DegradedPct),
+			itoa(row.LostExecutors), itoa(row.ResubmittedStages),
+			itoa(row.Requeued), itoa(row.Retries), ftoa(row.RecoveredGiB),
+		})
+	}
+	return map[string][][]string{"faults": rows}
+}

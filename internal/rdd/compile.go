@@ -28,6 +28,12 @@ type runState struct {
 	shuffle map[int][][]any
 	// results[task] is the final stage's output.
 	results [][]any
+	// emitted[{stage, task}] marks map tasks whose records are already in
+	// the shuffle buckets. Task attempts replayed after an injected fault
+	// or executor loss re-run the whole closure (the sim only no-ops the
+	// device charges), so without this guard a retry would append its
+	// records twice.
+	emitted map[[2]int]bool
 }
 
 // runJob materializes any cached dependencies, then compiles the plan
@@ -45,7 +51,7 @@ func runJobNoCache(c *Context, target *node, action, outputFile string) ([][]any
 	if err != nil {
 		return nil, nil, err
 	}
-	state := &runState{shuffle: make(map[int][][]any)}
+	state := &runState{shuffle: make(map[int][][]any), emitted: make(map[[2]int]bool)}
 	var inputs []engine.Input
 	seenFiles := map[string]bool{}
 	spec := &job.JobSpec{Name: action}
@@ -90,6 +96,7 @@ func runJobNoCache(c *Context, target *node, action, outputFile string) ([][]any
 		Cluster:   c.opts.Cluster,
 		BlockSize: c.opts.BlockSize,
 		Policy:    c.opts.Policy,
+		Faults:    c.opts.Faults,
 		Inputs:    inputs,
 	}
 	rep, err := engine.Run(opts, spec)
@@ -234,14 +241,22 @@ func (c *Context) stageWork(pl *stagePlan, state *runState) func(int) job.Work {
 				tc.Compute(float64(len(records)) * recCPU)
 				var bytes int64
 				buckets := state.shuffle[pl.sinkWide.id]
+				key := [2]int{pl.id, task}
+				first := !state.emitted[key]
 				for _, r := range records {
 					p := pl.sinkWide.route(task, r)
 					if p < 0 || p >= len(buckets) {
 						return fmt.Errorf("rdd: route sent record to partition %d of %d", p, len(buckets))
 					}
-					buckets[p] = append(buckets[p], r)
+					if first {
+						buckets[p] = append(buckets[p], r)
+					}
 					bytes += sizeOf(r)
 				}
+				// The append loop has no sim yields, so it is atomic in
+				// virtual time: exactly one attempt emits, replays only
+				// re-charge the device work.
+				state.emitted[key] = true
 				tc.WriteShuffle(bytes)
 			case pl.isAction:
 				if pl.saveFile != "" {

@@ -1,0 +1,119 @@
+package rdd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sae/internal/chaos"
+	"sae/internal/cluster"
+	"sae/internal/core"
+	"sae/internal/device"
+	"sae/internal/engine"
+)
+
+// terasort runs the mini-Terasort pipeline (sample → range bounds →
+// repartition → collect) over keys and returns the collected output plus
+// the collect job's report.
+func terasort(t *testing.T, keys []string, faults *chaos.Plan) ([]string, *engine.JobReport) {
+	t.Helper()
+	cfg := cluster.DAS5(4)
+	cfg.Variability = device.Uniform()
+	c, err := NewContext(Options{Cluster: cfg, Policy: core.DefaultDynamic(), Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Parallelize(c, keys, 16)
+	less := func(a, b string) bool { return a < b }
+	sample, _, err := Sample(d, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := Bounds(sample, 8, less)
+	sorted := RepartitionByRange(d, bounds, less)
+	out, rep, err := Collect(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, rep
+}
+
+// TestSortRecoversFromExecutorCrash is the RDD-level acceptance test:
+// killing an executor mid-sort must recover through task requeue plus
+// parent map-stage resubmission, and the collected output must still be
+// complete and globally sorted.
+func TestSortRecoversFromExecutorCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var keys []string
+	for i := 0; i < 4000; i++ {
+		keys = append(keys, fmt.Sprintf("%08x", rng.Uint32()))
+	}
+
+	quietOut, quietRep := terasort(t, keys, nil)
+	if quietRep.LostExecutors != 0 {
+		t.Fatalf("quiet run lost %d executors", quietRep.LostExecutors)
+	}
+	// Crash executor 1 at 40% of the reduce stage's quiet window: its map
+	// outputs are already registered and reduce tasks are fetching them.
+	red := quietRep.Stages[len(quietRep.Stages)-1]
+	crashAt := red.Start + (red.End-red.Start)*2/5
+
+	out, rep := terasort(t, keys, chaos.CrashAt(1, crashAt))
+	if rep.LostExecutors != 1 {
+		t.Fatalf("LostExecutors = %d, want 1", rep.LostExecutors)
+	}
+	if rep.ResubmittedStages < 1 {
+		t.Fatalf("ResubmittedStages = %d, want >= 1 (lineage recovery)", rep.ResubmittedStages)
+	}
+	if len(out) != len(keys) {
+		t.Fatalf("crashy sort returned %d records, want %d", len(out), len(keys))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("output not globally sorted at %d: %q < %q", i, out[i], out[i-1])
+		}
+	}
+	// Same multiset as the quiet run: recovery neither drops nor
+	// duplicates records.
+	a := append([]string(nil), quietOut...)
+	sort.Strings(a)
+	for i := range a {
+		if a[i] != out[i] {
+			t.Fatalf("crashy output diverges from quiet output at %d: %q vs %q", i, out[i], a[i])
+		}
+	}
+	if rep.Runtime <= quietRep.Runtime {
+		t.Fatalf("crashy run (%v) not slower than quiet run (%v)", rep.Runtime, quietRep.Runtime)
+	}
+}
+
+// TestFlakyTasksDoNotDuplicateShuffleRecords checks the emitted guard:
+// injected transient faults replay map closures, which must not append
+// their records to the shuffle buckets twice.
+func TestFlakyTasksDoNotDuplicateShuffleRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var keys []string
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, fmt.Sprintf("%08x", rng.Uint32()))
+	}
+	quietOut, _ := terasort(t, keys, nil)
+	out, rep := terasort(t, keys, chaos.Flaky(0.3, 5))
+	if len(out) != len(keys) {
+		t.Fatalf("flaky sort returned %d records, want %d", len(out), len(keys))
+	}
+	var retries int
+	for _, st := range rep.Stages {
+		retries += st.Retries
+	}
+	if retries == 0 {
+		t.Skip("no injected faults struck this configuration")
+	}
+	a := append([]string(nil), quietOut...)
+	sort.Strings(a)
+	for i := range a {
+		if a[i] != out[i] {
+			t.Fatalf("flaky output diverges at %d: %q vs %q", i, out[i], a[i])
+		}
+	}
+}

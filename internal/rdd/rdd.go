@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sae/internal/chaos"
 	"sae/internal/cluster"
 	"sae/internal/engine"
 	"sae/internal/engine/job"
@@ -32,6 +33,9 @@ type Options struct {
 	// RecordCPUSeconds is the single-core cost of processing one record
 	// through one operator (0 selects 1.5µs).
 	RecordCPUSeconds float64
+	// Faults is an optional deterministic chaos schedule applied to every
+	// action's engine run (see package chaos).
+	Faults *chaos.Plan
 }
 
 // Context owns a logical plan and executes actions on fresh simulated

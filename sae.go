@@ -28,6 +28,7 @@
 package sae
 
 import (
+	"sae/internal/chaos"
 	"sae/internal/cluster"
 	"sae/internal/core"
 	"sae/internal/device"
@@ -55,6 +56,10 @@ type (
 	ClusterConfig = cluster.Config
 	// DiskSpec is a storage device profile.
 	DiskSpec = device.DiskSpec
+	// FaultPlan is a deterministic chaos schedule (executor crashes,
+	// transient task and fetch faults) applied to a run via
+	// Setup.WithFaults or ContextOptions.Faults.
+	FaultPlan = chaos.Plan
 )
 
 // Default returns stock Spark behaviour: one worker thread per virtual
@@ -124,6 +129,11 @@ func AllWorkloads(cfg WorkloadConfig) []*Workload { return workloads.All(cfg) }
 func Run(s Setup, w *Workload, p Policy) (*JobReport, error) {
 	return s.Run(w, p, nil)
 }
+
+// ParseFaults parses a chaos schedule spec, e.g. "crash@90s",
+// "crash2@2m+30s,flaky:0.02,seed:7", "mayhem@10m" or "quiet". See
+// chaos.Parse for the grammar.
+func ParseFaults(spec string) (*FaultPlan, error) { return chaos.Parse(spec) }
 
 // NodeSpeedFactor returns the deterministic disk speed factor the
 // variability model assigns to node i under the given seed (1 = nominal;
