@@ -302,6 +302,25 @@ func BenchmarkFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiTenant regenerates the multi-tenancy matrix: concurrent
+// Terasort/PageRank mixes under FIFO and fair sharing, with default and
+// dynamic executor sizing.
+func BenchmarkMultiTenant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.MultiTenant(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row, ok := r.Get("terasort+pagerank", "FAIR", "dynamic"); ok {
+			b.ReportMetric(row.MakespanSec, "ts+pr-fair-dyn-makespan-s")
+			b.ReportMetric(row.MeanJobSec, "ts+pr-fair-dyn-meanjob-s")
+		}
+		if row, ok := r.Get("terasort+pagerank", "FIFO", "default"); ok {
+			b.ReportMetric(row.MakespanSec, "ts+pr-fifo-def-makespan-s")
+		}
+	}
+}
+
 // BenchmarkAblation regenerates the §5.2 design-choice ablation table.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -129,6 +129,10 @@ func Experiments() map[string]Experiment {
 			ID: "faults", Title: "Terasort under chaos schedules (fault-tolerance extension)",
 			Run: func(s Setup) (fmt.Stringer, error) { return exp.Faults(s) },
 		},
+		"multitenant": {
+			ID: "multitenant", Title: "Concurrent job mixes under FIFO/FAIR (multi-tenancy extension)",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.MultiTenant(s) },
+		},
 	}
 }
 
@@ -155,7 +159,12 @@ func ExperimentIDs() []string {
 		if ci != cj {
 			return ci < cj
 		}
-		return ni < nj
+		if ni != nj {
+			return ni < nj
+		}
+		// Extensions all rank equal: alphabetical keeps the listing
+		// deterministic.
+		return ids[i] < ids[j]
 	})
 	return ids
 }

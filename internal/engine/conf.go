@@ -9,8 +9,8 @@ import (
 // ApplyConfig folds the wired parameters of a configuration registry into
 // the engine options, mirroring how the paper's drop-in executor honours
 // the stock Spark configuration surface (Table 1). Only parameters marked
-// Wired in the catalogue — plus the scheduling/speculation group — have an
-// effect; everything else is accepted for compatibility.
+// Wired in the catalogue have an effect; everything else is accepted for
+// compatibility.
 func ApplyConfig(opts *Options, reg *conf.Registry) error {
 	cores, err := reg.GetInt("executor.cores")
 	if err != nil {
@@ -44,6 +44,27 @@ func ApplyConfig(opts *Options, reg *conf.Registry) error {
 	}
 	if opts.SpeculationMultiplier <= 1 {
 		return fmt.Errorf("engine: speculation.multiplier must exceed 1, got %v", opts.SpeculationMultiplier)
+	}
+	mode, err := reg.Get("scheduler.mode")
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "FIFO":
+		opts.JobPolicy = FIFO{}
+	case "FAIR":
+		opts.JobPolicy = Fair{}
+	default:
+		return fmt.Errorf("engine: scheduler.mode must be FIFO or FAIR, got %q", mode)
+	}
+	streak, err := reg.GetInt("blacklist.stage.maxFailedTasksPerExecutor")
+	if err != nil {
+		return err
+	}
+	if streak <= 0 {
+		opts.BlacklistAfter = -1 // disabled
+	} else {
+		opts.BlacklistAfter = streak
 	}
 	return nil
 }

@@ -29,17 +29,25 @@ func TestApplyConfigDefaults(t *testing.T) {
 	if opts.Speculation {
 		t.Fatal("speculation should default off")
 	}
+	if opts.JobPolicy == nil || opts.JobPolicy.Name() != "FIFO" {
+		t.Fatalf("job policy = %v, want FIFO", opts.JobPolicy)
+	}
+	if opts.BlacklistAfter != 3 {
+		t.Fatalf("blacklist streak = %d, want 3", opts.BlacklistAfter)
+	}
 }
 
 func TestApplyConfigOverrides(t *testing.T) {
 	reg := conf.New()
 	for k, v := range map[string]string{
-		"executor.cores":          "16",
-		"files.maxPartitionBytes": "32m",
-		"task.maxFailures":        "2",
-		"speculation":             "true",
-		"speculation.quantile":    "0.9",
-		"speculation.multiplier":  "2.0",
+		"executor.cores":                            "16",
+		"files.maxPartitionBytes":                   "32m",
+		"task.maxFailures":                          "2",
+		"speculation":                               "true",
+		"speculation.quantile":                      "0.9",
+		"speculation.multiplier":                    "2.0",
+		"scheduler.mode":                            "FAIR",
+		"blacklist.stage.maxFailedTasksPerExecutor": "0",
 	} {
 		if err := reg.Set(k, v); err != nil {
 			t.Fatal(err)
@@ -57,6 +65,12 @@ func TestApplyConfigOverrides(t *testing.T) {
 	}
 	if !opts.Speculation || opts.SpeculationQuantile != 0.9 || opts.SpeculationMultiplier != 2.0 {
 		t.Fatalf("speculation = %+v", opts)
+	}
+	if opts.JobPolicy.Name() != "FAIR" {
+		t.Fatalf("job policy = %q, want FAIR", opts.JobPolicy.Name())
+	}
+	if opts.BlacklistAfter != -1 {
+		t.Fatalf("blacklist streak = %d, want -1 (disabled)", opts.BlacklistAfter)
 	}
 	// And the configured engine actually runs with the reduced cores.
 	opts.Inputs = []Input{{Name: "in", Size: device.GiB}}
@@ -84,5 +98,12 @@ func TestApplyConfigBadValues(t *testing.T) {
 	}
 	if err := ApplyConfig(&opts, reg2); err == nil {
 		t.Fatal("bad size accepted")
+	}
+	reg3 := conf.New()
+	if err := reg3.Set("scheduler.mode", "LIFO"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyConfig(&opts, reg3); err == nil {
+		t.Fatal("unknown scheduler mode accepted")
 	}
 }

@@ -1,10 +1,12 @@
 // Package engine is the mini dataflow engine the adaptive executors plug
-// into: a driver with a stage-ordered task scheduler, per-node executors
-// with resizable worker pools, an HDFS-like input layer and a shuffle
-// subsystem, all running on the deterministic cluster simulator. It
+// into: a DAG-driven driver with a multi-job task scheduler, per-node
+// executors with resizable worker pools, an HDFS-like input layer and a
+// shuffle subsystem, all running on the deterministic cluster simulator. It
 // reproduces the Spark mechanics the paper modifies — per-stage task waves,
 // slot accounting in the driver, and the executor→scheduler thread-count
-// update protocol.
+// update protocol — and, like Spark, splits the driver into a stage-DAG
+// manager (dag.go), a task scheduler with pluggable FIFO/Fair inter-job
+// policies (scheduler.go), and an executor manager (execmgr.go).
 package engine
 
 import (
@@ -26,7 +28,8 @@ type Input struct {
 	Size int64
 }
 
-// Options configures a single job run.
+// Options configures an engine instance (shared by every job submitted to
+// it).
 type Options struct {
 	// Cluster describes the simulated hardware.
 	Cluster cluster.Config
@@ -37,12 +40,20 @@ type Options struct {
 	Replication int
 	// Policy sizes executor thread pools. Required.
 	Policy job.Policy
+	// JobPolicy orders concurrent jobs competing for executor slots
+	// (nil = FIFO).
+	JobPolicy InterJobPolicy
 	// TaskOverheadCPUSeconds is each task's launch overhead (negative
 	// disables; 0 selects the default 20ms).
 	TaskOverheadCPUSeconds float64
 	// TaskMaxFailures is how many attempts a task gets before the job
 	// aborts, as Spark's task.maxFailures (0 selects 4).
 	TaskMaxFailures int
+	// BlacklistAfter is how many consecutive task failures on one
+	// executor get it blacklisted (Spark's spark.blacklist analogue;
+	// 0 selects 3, negative disables blacklisting). A success resets the
+	// streak; a crash/restart clears the blacklist.
+	BlacklistAfter int
 	// Speculation enables speculative execution: once
 	// SpeculationQuantile of a stage's tasks have finished, stragglers
 	// running longer than SpeculationMultiplier× the median task
@@ -55,7 +66,7 @@ type Options struct {
 	// (optionally with restart), transient task I/O faults and shuffle
 	// fetch failures, all driven off the sim clock (see package chaos).
 	Faults *chaos.Plan
-	// Inputs are created in the DFS before the job starts.
+	// Inputs are created in the DFS before the first job starts.
 	Inputs []Input
 	// OnSetup, if set, runs after the engine is assembled and before the
 	// simulation starts — use it to attach samplers.
@@ -65,8 +76,8 @@ type Options struct {
 	Trace io.Writer
 }
 
-// Engine wires the simulated cluster, DFS, shuffle registry and executors
-// for one job run.
+// Engine wires the simulated cluster, DFS, shuffle registry and executors,
+// and schedules any number of submitted jobs over them.
 type Engine struct {
 	k         *sim.Kernel
 	opts      Options
@@ -76,17 +87,47 @@ type Engine struct {
 	executors []*Executor
 	toDriver  *sim.Mailbox[driverMsg]
 	sink      *traceSink
-	sched     *scheduler
-	done      bool
+
+	em    *execManager
+	sched *taskScheduler
+
+	jobs      []*jobState
+	completed int
+	// fatal aborts every job (e.g. the whole cluster died with no restart
+	// pending); per-job failures live on the jobState instead.
+	fatal   error
+	started bool
+	done    bool
 }
 
-// Run executes spec on a fresh simulated cluster and returns its report.
-func Run(opts Options, spec *job.JobSpec) (*JobReport, error) {
+// JobHandle refers to one submitted job; its report becomes available after
+// Engine.Wait returns.
+type JobHandle struct {
+	js *jobState
+}
+
+// ID returns the job's submission index.
+func (h *JobHandle) ID() int { return h.js.id }
+
+// Report returns the job's report, or the error that failed it. It is only
+// valid after Engine.Wait has returned.
+func (h *JobHandle) Report() (*JobReport, error) {
+	if h.js.err != nil {
+		return nil, h.js.err
+	}
+	if h.js.report == nil {
+		return nil, fmt.Errorf("engine: job %s did not complete", h.js.spec.Name)
+	}
+	return h.js.report, nil
+}
+
+// NewEngine assembles a fresh simulated cluster ready to accept jobs.
+func NewEngine(opts Options) (*Engine, error) {
 	if opts.Policy == nil {
 		return nil, errors.New("engine: Options.Policy is required")
 	}
-	if err := spec.Validate(); err != nil {
-		return nil, err
+	if opts.JobPolicy == nil {
+		opts.JobPolicy = FIFO{}
 	}
 	if opts.TaskOverheadCPUSeconds == 0 {
 		opts.TaskOverheadCPUSeconds = 0.02
@@ -95,6 +136,11 @@ func Run(opts Options, spec *job.JobSpec) (*JobReport, error) {
 	}
 	if opts.TaskMaxFailures <= 0 {
 		opts.TaskMaxFailures = 4
+	}
+	if opts.BlacklistAfter == 0 {
+		opts.BlacklistAfter = 3
+	} else if opts.BlacklistAfter < 0 {
+		opts.BlacklistAfter = 0 // disabled
 	}
 	if opts.SpeculationQuantile <= 0 || opts.SpeculationQuantile > 1 {
 		opts.SpeculationQuantile = 0.75
@@ -118,6 +164,8 @@ func Run(opts Options, spec *job.JobSpec) (*JobReport, error) {
 			return nil, fmt.Errorf("engine: create input: %w", err)
 		}
 	}
+	e.em = newExecManager(e, e.cluster.Size(), opts.BlacklistAfter)
+	e.sched = newTaskScheduler(e, opts.JobPolicy)
 	for i, node := range e.cluster.Nodes() {
 		ex := newExecutor(e, i, node, opts.Policy)
 		e.executors = append(e.executors, ex)
@@ -126,27 +174,91 @@ func Run(opts Options, spec *job.JobSpec) (*JobReport, error) {
 	if !opts.Faults.Empty() {
 		e.scheduleFaults(opts.Faults)
 	}
+	return e, nil
+}
 
-	var report *JobReport
-	var runErr error
-	k.Go("driver", func(p *sim.Proc) {
-		report, runErr = e.runJob(p, spec)
-		e.done = true
-	})
-	if opts.OnSetup != nil {
-		opts.OnSetup(e)
+// Submit registers spec to start at time zero. It must be called before
+// Wait.
+func (e *Engine) Submit(spec *job.JobSpec) (*JobHandle, error) {
+	return e.SubmitAt(0, spec)
+}
+
+// SubmitAt registers spec to be admitted at the given virtual time,
+// modelling a tenant arriving mid-run. It must be called before Wait.
+func (e *Engine) SubmitAt(at time.Duration, spec *job.JobSpec) (*JobHandle, error) {
+	if e.started {
+		return nil, errors.New("engine: Submit after Wait")
 	}
-	k.Run()
-	if runErr != nil {
-		return nil, runErr
+	if at < 0 {
+		return nil, errors.New("engine: negative submission time")
 	}
-	if report == nil {
-		return nil, errors.New("engine: job did not complete")
-	}
-	if err := e.sink.flushErr(); err != nil {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return report, nil
+	js := newJobState(len(e.jobs), spec, at)
+	e.jobs = append(e.jobs, js)
+	return &JobHandle{js: js}, nil
+}
+
+// Wait runs the simulation until every submitted job has finished or
+// failed. It returns only engine-fatal errors (no executors left, broken
+// trace sink); per-job outcomes are read from the handles.
+func (e *Engine) Wait() error {
+	if e.started {
+		return errors.New("engine: Wait called twice")
+	}
+	e.started = true
+	if len(e.jobs) == 0 {
+		return errors.New("engine: no jobs submitted")
+	}
+	for _, js := range e.jobs {
+		js := js
+		e.k.At(js.submitAt, func() { e.startJob(js) })
+	}
+	e.k.Go("driver", func(p *sim.Proc) {
+		for e.completed < len(e.jobs) && e.fatal == nil {
+			msg := e.toDriver.Recv(p)
+			switch {
+			case msg.taskDone != nil:
+				e.sched.handleTaskDone(msg.taskDone)
+			case msg.threads != nil:
+				e.sched.handleThreads(msg.threads)
+			case msg.execLost != nil:
+				e.sched.handleExecLost(msg.execLost)
+			case msg.execJoin != nil:
+				e.sched.handleExecJoin(msg.execJoin)
+			}
+		}
+		e.done = true
+	})
+	if e.opts.OnSetup != nil {
+		e.opts.OnSetup(e)
+	}
+	e.k.Run()
+	if e.fatal != nil {
+		return e.fatal
+	}
+	if e.completed < len(e.jobs) {
+		return errors.New("engine: jobs did not complete")
+	}
+	return e.sink.flushErr()
+}
+
+// Run executes a single job on a fresh simulated cluster and returns its
+// report — the one-job convenience wrapper over NewEngine/Submit/Wait.
+func Run(opts Options, spec *job.JobSpec) (*JobReport, error) {
+	e, err := NewEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	h, err := e.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Wait(); err != nil {
+		return nil, err
+	}
+	return h.Report()
 }
 
 // Kernel returns the simulation kernel.
@@ -161,11 +273,11 @@ func (e *Engine) FS() *dfs.FS { return e.fs }
 // Executors returns the engine's executors, one per node.
 func (e *Engine) Executors() []*Executor { return e.executors }
 
-// Done reports whether the job has finished (for sampler processes).
+// Done reports whether every job has finished (for sampler processes).
 func (e *Engine) Done() bool { return e.done }
 
 // InjectDiskInterference starts `streams` background readers hammering
-// node's disk with chunk-sized reads from `from` until the job completes —
+// node's disk with chunk-sized reads from `from` until every job completes —
 // a co-located tenant, in the paper's L4 terms. Call from Options.OnSetup.
 func (e *Engine) InjectDiskInterference(node int, from time.Duration, streams int, chunk int64) {
 	if chunk <= 0 {

@@ -1,0 +1,135 @@
+package engine
+
+import "fmt"
+
+// execManager owns the driver-side view of the executor fleet: the slot
+// table (limit − inflight per executor, following the executors'
+// ThreadCountUpdate messages), incarnation epochs, consecutive-failure
+// streaks and the blacklist. It is cluster-scoped — one instance serves
+// every job on the engine — so an executor lost while job A runs is still
+// gone when job B's stages schedule, exactly like Spark's
+// TaskSchedulerImpl-level executor tracking.
+type execManager struct {
+	eng *Engine
+
+	// limits is the driver's copy of each executor's pool size; inflight
+	// counts assignments not yet reported done. limit − inflight is the
+	// executor's free slot count.
+	limits   []int
+	inflight []int
+	// inflightJob breaks inflight down per job, so a crash can return the
+	// dead executor's slots to the right jobs' fair-share accounts.
+	inflightJob []map[int]int
+	// epochs mirrors each executor's incarnation counter; messages from an
+	// older incarnation are stale and dropped.
+	epochs     []int
+	failStreak []int
+	alive      []bool
+	// blacklisted marks executors with blacklistAfter consecutive task
+	// failures; they receive no new work until a crash/restart clears the
+	// flag.
+	blacklisted []bool
+
+	// blacklistAfter is the consecutive-failure threshold (Spark's
+	// spark.blacklist analogue; 0 disables blacklisting).
+	blacklistAfter int
+}
+
+func newExecManager(eng *Engine, n, blacklistAfter int) *execManager {
+	m := &execManager{
+		eng:            eng,
+		limits:         make([]int, n),
+		inflight:       make([]int, n),
+		inflightJob:    make([]map[int]int, n),
+		epochs:         make([]int, n),
+		failStreak:     make([]int, n),
+		alive:          make([]bool, n),
+		blacklisted:    make([]bool, n),
+		blacklistAfter: blacklistAfter,
+	}
+	for i := range m.alive {
+		m.alive[i] = true
+		m.inflightJob[i] = make(map[int]int)
+	}
+	return m
+}
+
+// assignable reports whether executor i may receive new tasks.
+func (m *execManager) assignable(i int) bool { return m.alive[i] && !m.blacklisted[i] }
+
+// anyAssignable reports whether any executor can still receive tasks.
+func (m *execManager) anyAssignable() bool {
+	for i := range m.alive {
+		if m.assignable(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// otherFree reports whether any executor besides i has a free slot.
+func (m *execManager) otherFree(i int) bool {
+	for j := range m.alive {
+		if j != i && m.assignable(j) && m.inflight[j] < m.limits[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// launched records one task assignment to executor i on behalf of jobID.
+func (m *execManager) launched(i, jobID int) {
+	m.inflight[i]++
+	m.inflightJob[i][jobID]++
+	m.eng.jobs[jobID].running++
+}
+
+// completed records one reported attempt completion from executor i.
+func (m *execManager) completed(i, jobID int) {
+	m.inflight[i]--
+	m.inflightJob[i][jobID]--
+	m.eng.jobs[jobID].running--
+}
+
+// noteFailure advances the executor's failure streak and blacklists it
+// after blacklistAfter consecutive failures — provided at least one other
+// executor remains assignable.
+func (m *execManager) noteFailure(exec, jobID, stage int) {
+	m.failStreak[exec]++
+	if m.blacklistAfter <= 0 || m.blacklisted[exec] || m.failStreak[exec] < m.blacklistAfter {
+		return
+	}
+	for i := range m.alive {
+		if i != exec && m.assignable(i) {
+			m.blacklisted[exec] = true
+			m.eng.trace(TraceEvent{Type: TraceBlacklist, Job: jobID, Stage: stage, Task: -1, Exec: exec,
+				Detail: fmt.Sprintf("%d consecutive failures", m.failStreak[exec])})
+			return
+		}
+	}
+}
+
+// markLost resets the dead executor's driver-side state, returning its
+// in-flight slots to the owning jobs' running counts. Iteration over the
+// per-job counts is unordered but commutative, so the resulting state is
+// deterministic.
+func (m *execManager) markLost(exec, epoch int) {
+	m.alive[exec] = false
+	m.epochs[exec] = epoch
+	m.limits[exec] = 0
+	m.inflight[exec] = 0
+	for jobID, n := range m.inflightJob[exec] {
+		m.eng.jobs[jobID].running -= n
+	}
+	m.inflightJob[exec] = make(map[int]int)
+	m.failStreak[exec] = 0
+	m.blacklisted[exec] = false
+}
+
+// markJoined re-admits a restarted executor with a clean record.
+func (m *execManager) markJoined(exec, epoch int) {
+	m.alive[exec] = true
+	m.epochs[exec] = epoch
+	m.failStreak[exec] = 0
+	m.blacklisted[exec] = false
+}

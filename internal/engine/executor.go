@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"time"
 
 	"sae/internal/cluster"
@@ -10,30 +11,44 @@ import (
 )
 
 // Executor runs tasks on one node with a resizable worker pool, mirroring
-// the paper's drop-in Spark executor replacement. The pool limit is set by
-// the sizing policy's controller; when the controller resizes it, the
-// executor applies the change locally (the paper's setMaximumPoolSize) and
-// notifies the driver so its slot table follows (the paper's messaging
+// the paper's drop-in Spark executor replacement. Each active (job, stage)
+// gets its own MAPE-K controller; the pool limit applied locally (the
+// paper's setMaximumPoolSize) is the minimum over the active controllers'
+// choices, so one saturated stage's clamp protects the shared disk even
+// while a CPU-bound stage of another job would tolerate more threads. When
+// the effective limit changes in a way the driver cannot derive itself, the
+// executor notifies it so the slot table follows (the paper's messaging
 // protocol extension). Tasks assigned beyond the current limit — e.g. ones
 // already in flight from the driver when the pool shrank — wait in a local
 // queue, exactly the integrity concern §5.3 discusses.
 //
 // Executors can crash (chaos schedules): a crash bumps the incarnation
-// epoch and drops the local queue. The sim kernel cannot cancel a parked
-// process, so tasks already running become zombies — their remaining I/O
-// and compute no-op (see taskContext) and their completions are never
-// reported. A restarted executor keeps its ID and node but gets a fresh
-// controller, so the MAPE-K loop re-bootstraps from cmin.
+// epoch, drops the local queue and retires every controller (their decision
+// logs are kept per job). The sim kernel cannot cancel a parked process, so
+// tasks already running become zombies — their remaining I/O and compute
+// no-op (see taskContext) and their completions are never reported. A
+// restarted executor keeps its ID and node; the driver re-sends the active
+// stages so fresh controllers re-bootstrap the MAPE-K loop from cmin.
 type Executor struct {
-	id   int
-	node *cluster.Node
-	eng  *Engine
-	info job.ExecutorInfo
-	ctrl job.Controller
+	id     int
+	node   *cluster.Node
+	eng    *Engine
+	info   job.ExecutorInfo
+	policy job.Policy
 
 	inbox *sim.Mailbox[execMsg]
 
-	stage   *job.StageSpec
+	// ctrls/choice/stages track one controller per active (job, stage);
+	// activeKeys lists their keys sorted by (job, stage) for
+	// deterministic iteration.
+	ctrls      map[setKey]job.Controller
+	choice     map[setKey]int
+	stages     map[setKey]*job.StageSpec
+	activeKeys []setKey
+	// curStage labels thread-log entries and crash traces with the stage
+	// that last (re)configured the pool.
+	curStage int
+
 	limit   int
 	running int
 	queue   []*launchMsg
@@ -44,9 +59,9 @@ type Executor struct {
 	alive    bool
 	epoch    int
 	restarts int
-	// decisionsPrefix preserves the decision logs of pre-crash
-	// controller incarnations.
-	decisionsPrefix []job.Decision
+	// decisionsByJob collects retired controllers' decision logs (stage
+	// ends and crashes) per job, in chronological order.
+	decisionsByJob map[int][]job.Decision
 
 	threadLog  []ThreadChange
 	cumBytes   int64
@@ -56,17 +71,28 @@ type Executor struct {
 // execMsg is a driver→executor control message (exactly one field set).
 type execMsg struct {
 	stageStart *stageStartMsg
+	stageEnd   *stageEndMsg
 	launch     *launchMsg
 }
 
 type stageStartMsg struct {
+	job   int
 	stage *job.StageSpec
+}
+
+// stageEndMsg retires the (job, stage) controller; the executor folds its
+// decision log into the per-job archive and relaxes the pool limit if that
+// stage's controller was the binding minimum.
+type stageEndMsg struct {
+	job   int
+	stage int
 }
 
 // launchMsg carries one task assignment with its input plan. epoch is the
 // executor incarnation the driver assigned it to: a message crossing a
 // crash or restart in flight is dropped on arrival.
 type launchMsg struct {
+	job        int
 	stage      *job.StageSpec
 	index      int
 	attempt    int
@@ -76,7 +102,8 @@ type launchMsg struct {
 	inputTotal int64
 }
 
-// driverMsg is an executor→driver message (exactly one field set).
+// driverMsg is an executor→driver message (exactly one field set; the
+// zero value is a wake-up nudge that matches no handler).
 type driverMsg struct {
 	taskDone *taskDoneMsg
 	threads  *threadsMsg
@@ -87,15 +114,19 @@ type driverMsg struct {
 type taskDoneMsg struct {
 	exec    int
 	epoch   int
+	job     int
 	metrics job.TaskMetrics
 	err     error
 }
 
 // threadsMsg is the paper's ThreadCountUpdate: the executor informs the
-// scheduler of its new pool size.
+// scheduler of its new effective pool size. job/stage identify the stage
+// whose controller triggered the change (for trace labelling).
 type threadsMsg struct {
 	exec    int
 	epoch   int
+	job     int
+	stage   int
 	threads int
 }
 
@@ -128,14 +159,19 @@ func newExecutor(eng *Engine, id int, node *cluster.Node, policy job.Policy) *Ex
 		MaxThreads: node.CPU.Spec().VirtualCores,
 	}
 	return &Executor{
-		id:    id,
-		node:  node,
-		eng:   eng,
-		info:  info,
-		ctrl:  policy.NewController(info),
-		inbox: sim.NewMailbox[execMsg](eng.k),
-		limit: info.MaxThreads,
-		alive: true,
+		id:             id,
+		node:           node,
+		eng:            eng,
+		info:           info,
+		policy:         policy,
+		inbox:          sim.NewMailbox[execMsg](eng.k),
+		ctrls:          make(map[setKey]job.Controller),
+		choice:         make(map[setKey]int),
+		stages:         make(map[setKey]*job.StageSpec),
+		curStage:       -1,
+		decisionsByJob: make(map[int][]job.Decision),
+		limit:          info.MaxThreads,
+		alive:          true,
 	}
 }
 
@@ -162,14 +198,41 @@ func (ex *Executor) CumulativeBytes() int64 { return ex.cumBytes }
 // ThreadLog returns the pool-size change history.
 func (ex *Executor) ThreadLog() []ThreadChange { return ex.threadLog }
 
-// Decisions returns the controller's decision log, including pre-crash
-// incarnations.
+// Decisions returns every controller decision this executor has logged,
+// across all jobs and incarnations, grouped by job ID.
 func (ex *Executor) Decisions() []job.Decision {
-	if len(ex.decisionsPrefix) == 0 {
-		return ex.ctrl.Decisions()
+	jobs := make([]int, 0, len(ex.decisionsByJob))
+	for id := range ex.decisionsByJob {
+		jobs = append(jobs, id)
 	}
-	out := append([]job.Decision(nil), ex.decisionsPrefix...)
-	return append(out, ex.ctrl.Decisions()...)
+	for _, key := range ex.activeKeys {
+		if _, ok := ex.decisionsByJob[key.job]; !ok {
+			jobs = append(jobs, key.job)
+		}
+	}
+	sort.Ints(jobs)
+	var out []job.Decision
+	seen := make(map[int]bool, len(jobs))
+	for _, id := range jobs {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, ex.jobDecisions(id)...)
+	}
+	return out
+}
+
+// jobDecisions returns the decision logs of one job's controllers on this
+// executor: retired ones first (chronological), then any still live.
+func (ex *Executor) jobDecisions(jobID int) []job.Decision {
+	out := append([]job.Decision(nil), ex.decisionsByJob[jobID]...)
+	for _, key := range ex.activeKeys {
+		if key.job == jobID {
+			out = append(out, ex.ctrls[key].Decisions()...)
+		}
+	}
+	return out
 }
 
 // main is the executor's control loop process.
@@ -181,10 +244,9 @@ func (ex *Executor) main(p *sim.Proc) {
 			if !ex.alive {
 				continue // a dead executor ignores stage broadcasts
 			}
-			ex.stage = msg.stageStart.stage
-			n := ex.ctrl.StageStart(ex.stage.Meta())
-			ex.setLimit(n)
-			ex.drain()
+			ex.stageStart(msg.stageStart)
+		case msg.stageEnd != nil:
+			ex.stageEnd(msg.stageEnd)
 		case msg.launch != nil:
 			if !ex.alive || msg.launch.epoch != ex.epoch {
 				continue // assignment crossed a crash in flight
@@ -198,7 +260,99 @@ func (ex *Executor) main(p *sim.Proc) {
 	}
 }
 
-func (ex *Executor) setLimit(n int) {
+// stageStart installs a fresh controller for the (job, stage) and applies
+// its initial choice to the shared pool. The driver updates its slot table
+// with the same min-over-active-stages rule, so no ThreadCountUpdate is
+// needed here.
+func (ex *Executor) stageStart(m *stageStartMsg) {
+	key := setKey{job: m.job, stage: m.stage.ID}
+	if old, ok := ex.ctrls[key]; ok {
+		// A duplicate broadcast (stage re-sent around a crash/restart
+		// race): retire the old incarnation's log and start over.
+		ex.decisionsByJob[key.job] = append(ex.decisionsByJob[key.job], old.Decisions()...)
+		ex.removeKey(key)
+	}
+	ctrl := ex.policy.NewController(ex.info)
+	ex.ctrls[key] = ctrl
+	ex.stages[key] = m.stage
+	ex.choice[key] = ctrl.StageStart(m.stage.Meta())
+	ex.activeKeys = append(ex.activeKeys, key)
+	sort.Slice(ex.activeKeys, func(i, j int) bool {
+		a, b := ex.activeKeys[i], ex.activeKeys[j]
+		if a.job != b.job {
+			return a.job < b.job
+		}
+		return a.stage < b.stage
+	})
+	ex.curStage = m.stage.ID
+	if n, ok := ex.effectiveChoice(); ok {
+		ex.setLimit(n, m.stage.ID)
+	}
+	ex.drain()
+}
+
+// stageEnd retires the (job, stage) controller. If its choice was the
+// binding minimum, the pool relaxes and the driver is told — it cannot
+// derive the surviving controllers' choices itself.
+func (ex *Executor) stageEnd(m *stageEndMsg) {
+	key := setKey{job: m.job, stage: m.stage}
+	ctrl := ex.ctrls[key]
+	if ctrl == nil {
+		return // already retired (e.g. by a crash)
+	}
+	ex.decisionsByJob[m.job] = append(ex.decisionsByJob[m.job], ctrl.Decisions()...)
+	ex.removeKey(key)
+	if n, ok := ex.effectiveChoice(); ok && ex.applyAndNotify(n, m.job, m.stage) {
+		ex.drain()
+	}
+}
+
+// removeKey drops a (job, stage) from the active controller tables.
+func (ex *Executor) removeKey(key setKey) {
+	delete(ex.ctrls, key)
+	delete(ex.choice, key)
+	delete(ex.stages, key)
+	for i, k := range ex.activeKeys {
+		if k == key {
+			ex.activeKeys = append(ex.activeKeys[:i], ex.activeKeys[i+1:]...)
+			break
+		}
+	}
+}
+
+// effectiveChoice returns the minimum over active controllers' choices.
+// With no active stage it reports ok=false: the pool keeps its last limit
+// (there is nothing to run anyway).
+func (ex *Executor) effectiveChoice() (int, bool) {
+	if len(ex.activeKeys) == 0 {
+		return 0, false
+	}
+	n := -1
+	for _, key := range ex.activeKeys {
+		if c := ex.choice[key]; n < 0 || c < n {
+			n = c
+		}
+	}
+	return n, true
+}
+
+// applyAndNotify applies a new effective limit and, if it actually changed,
+// sends the driver a ThreadCountUpdate. Returns whether it changed.
+func (ex *Executor) applyAndNotify(n, jobID, stage int) bool {
+	if n < 1 {
+		n = 1
+	}
+	if n == ex.limit {
+		return false
+	}
+	ex.setLimit(n, stage)
+	ex.eng.toDriver.Send(ex.eng.cluster.ControlLatency(), driverMsg{
+		threads: &threadsMsg{exec: ex.id, epoch: ex.epoch, job: jobID, stage: stage, threads: n},
+	})
+	return true
+}
+
+func (ex *Executor) setLimit(n, stage int) {
 	if n < 1 {
 		n = 1
 	}
@@ -206,14 +360,8 @@ func (ex *Executor) setLimit(n int) {
 		return
 	}
 	ex.limit = n
-	ex.threadLog = append(ex.threadLog, ThreadChange{At: ex.eng.k.Now(), Stage: ex.stageID(), Threads: n})
-}
-
-func (ex *Executor) stageID() int {
-	if ex.stage == nil {
-		return -1
-	}
-	return ex.stage.ID
+	ex.curStage = stage
+	ex.threadLog = append(ex.threadLog, ThreadChange{At: ex.eng.k.Now(), Stage: stage, Threads: n})
 }
 
 // start launches one task as its own process.
@@ -225,6 +373,7 @@ func (ex *Executor) start(lm *launchMsg) {
 			eng:        ex.eng,
 			p:          p,
 			ex:         ex,
+			jobID:      lm.job,
 			stage:      lm.stage,
 			index:      lm.index,
 			attempt:    lm.attempt,
@@ -249,19 +398,22 @@ func (ex *Executor) start(lm *launchMsg) {
 		ex.cumBytes += tm.BytesMoved
 
 		// Failed attempts carry no usable monitor signal; only
-		// successful completions feed the MAPE-K loop.
-		threads, changed := ex.limit, false
+		// successful completions of a stage with a live controller feed
+		// the MAPE-K loop (recovery-set tasks run under other stages'
+		// settings, as before the DAG split).
+		key := setKey{job: lm.job, stage: lm.stage.ID}
 		if err == nil {
-			threads, changed = ex.ctrl.TaskDone(tm)
-		}
-		if changed {
-			ex.setLimit(threads)
-			ex.eng.toDriver.Send(ex.eng.cluster.ControlLatency(), driverMsg{
-				threads: &threadsMsg{exec: ex.id, epoch: ex.epoch, threads: threads},
-			})
+			if ctrl := ex.ctrls[key]; ctrl != nil {
+				if threads, changed := ctrl.TaskDone(tm); changed {
+					ex.choice[key] = threads
+					if n, ok := ex.effectiveChoice(); ok {
+						ex.applyAndNotify(n, key.job, key.stage)
+					}
+				}
+			}
 		}
 		ex.eng.toDriver.Send(ex.eng.cluster.ControlLatency(), driverMsg{
-			taskDone: &taskDoneMsg{exec: ex.id, epoch: ex.epoch, metrics: tm, err: err},
+			taskDone: &taskDoneMsg{exec: ex.id, epoch: ex.epoch, job: lm.job, metrics: tm, err: err},
 		})
 		ex.drain()
 	})

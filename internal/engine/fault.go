@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sae/internal/chaos"
+	"sae/internal/engine/job"
 )
 
 // Fault-path errors. Injected transients go through the normal retry path
@@ -64,19 +65,28 @@ func (e *Engine) crashExecutor(i int) {
 	ex.alive = false
 	ex.epoch++
 	ex.queue = nil
-	ex.threadLog = append(ex.threadLog, ThreadChange{At: e.k.Now(), Stage: ex.stageID(), Threads: 0})
+	// Retire every active controller, archiving their decision logs per
+	// job; the restart's re-sent stages will install fresh ones.
+	for _, key := range ex.activeKeys {
+		ex.decisionsByJob[key.job] = append(ex.decisionsByJob[key.job], ex.ctrls[key].Decisions()...)
+	}
+	ex.ctrls = make(map[setKey]job.Controller)
+	ex.choice = make(map[setKey]int)
+	ex.stages = make(map[setKey]*job.StageSpec)
+	ex.activeKeys = nil
+	ex.threadLog = append(ex.threadLog, ThreadChange{At: e.k.Now(), Stage: ex.curStage, Threads: 0})
 	// The node's local shuffle files die with the executor process; DFS
 	// blocks survive (the datanode is a separate process).
 	e.shuffle.removeNode(ex.node.ID)
-	e.trace(TraceEvent{Type: TraceExecLost, Stage: ex.stageID(), Task: -1, Exec: i, Detail: "crash"})
+	e.trace(TraceEvent{Type: TraceExecLost, Job: -1, Stage: ex.curStage, Task: -1, Exec: i, Detail: "crash"})
 	e.toDriver.Send(e.cluster.ControlLatency(), driverMsg{
 		execLost: &execLostMsg{exec: i, epoch: ex.epoch},
 	})
 }
 
-// restartExecutor brings executor i back with a fresh controller: the
-// MAPE-K loop bootstraps again from cmin, and the driver re-establishes the
-// ThreadCountUpdate flow by re-sending the current stage.
+// restartExecutor brings executor i back: the driver re-establishes the
+// ThreadCountUpdate flow by re-sending the active stages, whose fresh
+// controllers bootstrap the MAPE-K loop again from cmin.
 func (e *Engine) restartExecutor(i int) {
 	if e.done {
 		return
@@ -87,9 +97,7 @@ func (e *Engine) restartExecutor(i int) {
 	}
 	ex.alive = true
 	ex.restarts++
-	ex.decisionsPrefix = append(ex.decisionsPrefix, ex.ctrl.Decisions()...)
-	ex.ctrl = e.opts.Policy.NewController(ex.info)
-	e.trace(TraceEvent{Type: TraceExecRestart, Stage: ex.stageID(), Task: -1, Exec: i})
+	e.trace(TraceEvent{Type: TraceExecRestart, Job: -1, Stage: ex.curStage, Task: -1, Exec: i})
 	e.toDriver.Send(e.cluster.ControlLatency(), driverMsg{
 		execJoin: &execJoinMsg{exec: i, epoch: ex.epoch},
 	})

@@ -17,8 +17,10 @@ import (
 
 // StageSpec describes one stage of a job.
 type StageSpec struct {
-	// ID is the stage's index within the job; stages run in ID order and
-	// stage i may consume shuffle output of any earlier stage.
+	// ID is the stage's index within the job. Edges (ShuffleFrom and
+	// DependsOn) may only point backwards; stages whose dependencies are
+	// all satisfied become runnable, and independent stages run
+	// concurrently.
 	ID int
 	// Name labels the stage in reports (e.g. "ingest", "shuffle-1").
 	Name string
@@ -31,6 +33,12 @@ type StageSpec struct {
 	// ShuffleFrom lists earlier stage IDs whose shuffle output this
 	// stage fetches (all partitions destined for each reduce task).
 	ShuffleFrom []int
+	// DependsOn lists earlier stage IDs this stage must wait for even
+	// though it fetches no shuffle data from them — a control dependency,
+	// like Terasort's map stage needing the sample stage's partitioner
+	// boundaries. Together with ShuffleFrom it defines the stage DAG:
+	// stages with no path between them may run concurrently.
+	DependsOn []int
 
 	// CPUSecondsPerTask is the single-core compute demand of each task,
 	// interleaved with its I/O.
@@ -112,6 +120,11 @@ func (j *JobSpec) Validate() error {
 			}
 			if j.Stages[from].ShuffleWriteBytes <= 0 && j.Stages[from].Work == nil {
 				return fmt.Errorf("job %s: stage %d shuffles from stage %d which writes no shuffle data", j.Name, i, from)
+			}
+		}
+		for _, dep := range s.DependsOn {
+			if dep < 0 || dep >= i {
+				return fmt.Errorf("job %s: stage %d depends on invalid stage %d", j.Name, i, dep)
 			}
 		}
 		if s.CPUSecondsPerTask < 0 || s.ShuffleWriteBytes < 0 || s.OutputBytes < 0 {
@@ -249,6 +262,14 @@ type TaskMetrics struct {
 	// BytesMoved is the task's µ contribution: all bytes it read or
 	// wrote on any device.
 	BytesMoved int64
+	// DiskReadBytes/DiskWriteBytes/NetBytes break the task's device
+	// traffic down per medium for per-job I/O attribution. Unlike
+	// BytesMoved they include spill amplification (spills occupy the
+	// disk even though they are not goodput), so per-job totals match
+	// what the devices actually served.
+	DiskReadBytes  int64
+	DiskWriteBytes int64
+	NetBytes       int64
 	// DiskBusyFrac is the node disk's busy fraction over the task's
 	// lifetime (the iostat %util analogue, used by the utilization-
 	// driven ablation controller).

@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"sae/internal/chaos"
+	"sae/internal/core"
+	"sae/internal/device"
+	"sae/internal/engine/job"
+)
+
+// pipelineJob is a map+reduce job reading its own input file, sized so two
+// of them keep a 4-node cluster busy long enough to overlap.
+func pipelineJob(name string, blocks int) (*job.JobSpec, Input) {
+	in := int64(blocks) * 64 * device.MiB
+	shuffle := in / 2
+	out := in / 4
+	spec := &job.JobSpec{
+		Name: name,
+		Stages: []*job.StageSpec{
+			{ID: 0, Name: "map", InputFile: name + "/in", CPUSecondsPerTask: 0.15,
+				ShuffleWriteBytes: shuffle},
+			{ID: 1, Name: "reduce", NumTasks: 2 * blocks, ShuffleFrom: []int{0},
+				CPUSecondsPerTask: 0.1, OutputFile: name + "/out", OutputBytes: out},
+		},
+	}
+	return spec, Input{Name: name + "/in", Size: in}
+}
+
+// runTwoJobs runs two pipeline jobs concurrently and returns their reports.
+func runTwoJobs(t *testing.T, opts Options) [2]*JobReport {
+	t.Helper()
+	specA, inA := pipelineJob("alpha", 16)
+	specB, inB := pipelineJob("beta", 16)
+	opts.Inputs = append(opts.Inputs, inA, inB)
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := e.Submit(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := e.Submit(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var reps [2]*JobReport
+	for i, h := range []*JobHandle{ha, hb} {
+		rep, err := h.Report()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		reps[i] = rep
+	}
+	return reps
+}
+
+// TestMultiJobDeterminism replays two concurrent jobs under chaos and
+// speculation and demands byte-identical reports and traces — the refactor's
+// non-negotiable: the multi-job scheduler must stay fully deterministic.
+func TestMultiJobDeterminism(t *testing.T) {
+	run := func() ([2]*JobReport, []byte) {
+		var trace bytes.Buffer
+		opts := testOptions(4, core.DefaultDynamic())
+		opts.Trace = &trace
+		opts.Speculation = true
+		opts.Faults = &chaos.Plan{
+			Name: "multistorm", Seed: 11,
+			TaskFaultRate: 0.05, FetchFaultRate: 0.05,
+			Crashes: []chaos.Crash{{Exec: 1, At: 20 * time.Second, RestartAfter: 30 * time.Second}},
+		}
+		return runTwoJobs(t, opts), trace.Bytes()
+	}
+	reps1, trace1 := run()
+	reps2, trace2 := run()
+	for i := range reps1 {
+		if !reflect.DeepEqual(reps1[i], reps2[i]) {
+			t.Errorf("job %d report differs between identical runs:\n%v\nvs\n%v",
+				i, reps1[i], reps2[i])
+		}
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("traces differ between identical runs")
+	}
+}
+
+// TestPolicyConservation is the property check: whichever inter-job policy
+// carves up the executor slots, each job still runs every task and moves
+// every byte exactly once.
+func TestPolicyConservation(t *testing.T) {
+	var got [2][2]*JobReport
+	for i, pol := range []InterJobPolicy{FIFO{}, Fair{}} {
+		opts := testOptions(4, core.Default{})
+		opts.JobPolicy = pol
+		got[i] = runTwoJobs(t, opts)
+	}
+	for j := 0; j < 2; j++ {
+		fifo, fair := got[0][j], got[1][j]
+		if fifo.Sched != "FIFO" || fair.Sched != "FAIR" {
+			t.Fatalf("job %d: Sched = %q / %q", j, fifo.Sched, fair.Sched)
+		}
+		for s := range fifo.Stages {
+			tf, tr := 0, 0
+			for _, e := range fifo.Stages[s].Execs {
+				tf += e.Tasks
+			}
+			for _, e := range fair.Stages[s].Execs {
+				tr += e.Tasks
+			}
+			if tf != tr {
+				t.Errorf("job %d stage %d: %d tasks under FIFO, %d under FAIR", j, s, tf, tr)
+			}
+		}
+		if fifo.DiskReadBytes != fair.DiskReadBytes || fifo.DiskWriteBytes != fair.DiskWriteBytes {
+			t.Errorf("job %d: I/O differs across policies: read %d/%d write %d/%d",
+				j, fifo.DiskReadBytes, fair.DiskReadBytes, fifo.DiskWriteBytes, fair.DiskWriteBytes)
+		}
+	}
+}
+
+// TestPerJobIOAttribution pins the per-job I/O accounting: with two jobs
+// sharing the cluster, each job's report must count exactly its own bytes —
+// input + shuffle fetch on the read side, shuffle spill + output on the
+// write side — not the cluster-wide deltas of the old single-job driver.
+func TestPerJobIOAttribution(t *testing.T) {
+	reps := runTwoJobs(t, testOptions(4, core.Default{}))
+	for i, rep := range reps {
+		in := int64(16) * 64 * device.MiB
+		shuffle, out := in/2, in/4
+		if rep.DiskReadBytes != in+shuffle {
+			t.Errorf("job %d disk read = %d, want %d", i, rep.DiskReadBytes, in+shuffle)
+		}
+		if rep.DiskWriteBytes != shuffle+out {
+			t.Errorf("job %d disk write = %d, want %d", i, rep.DiskWriteBytes, shuffle+out)
+		}
+	}
+}
+
+// diamondJob has two independent map stages feeding one join stage — the
+// smallest DAG where concurrent stage execution is observable.
+func diamondJob(dep bool) (*job.JobSpec, []Input) {
+	in := int64(8) * 64 * device.MiB
+	left := &job.StageSpec{ID: 0, Name: "left", InputFile: "d/left",
+		CPUSecondsPerTask: 0.2, ShuffleWriteBytes: in / 2}
+	right := &job.StageSpec{ID: 1, Name: "right", InputFile: "d/right",
+		CPUSecondsPerTask: 0.2, ShuffleWriteBytes: in / 2}
+	if dep {
+		right.DependsOn = []int{0}
+	}
+	join := &job.StageSpec{ID: 2, Name: "join", NumTasks: 16, ShuffleFrom: []int{0, 1},
+		CPUSecondsPerTask: 0.1}
+	spec := &job.JobSpec{Name: "diamond", Stages: []*job.StageSpec{left, right, join}}
+	return spec, []Input{{Name: "d/left", Size: in}, {Name: "d/right", Size: in}}
+}
+
+// TestDAGRunsIndependentStagesConcurrently checks that sibling stages with
+// no edge between them overlap on the cluster, and that the join still
+// waits for both.
+func TestDAGRunsIndependentStagesConcurrently(t *testing.T) {
+	spec, inputs := diamondJob(false)
+	opts := testOptions(4, core.Default{})
+	opts.Inputs = inputs
+	rep, err := Run(opts, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r, j := rep.Stages[0], rep.Stages[1], rep.Stages[2]
+	if l.Start != r.Start {
+		t.Errorf("independent root stages started at %v and %v, want together", l.Start, r.Start)
+	}
+	if r.Start >= l.End {
+		t.Errorf("stage windows do not overlap: right starts %v, left ends %v", r.Start, l.End)
+	}
+	if j.Start < l.End || j.Start < r.End {
+		t.Errorf("join started %v before both parents ended (%v, %v)", j.Start, l.End, r.End)
+	}
+}
+
+// TestDependsOnSerializesStages checks that a control-dependency edge (no
+// shuffle) forces strict ordering.
+func TestDependsOnSerializesStages(t *testing.T) {
+	spec, inputs := diamondJob(true)
+	opts := testOptions(4, core.Default{})
+	opts.Inputs = inputs
+	rep, err := Run(opts, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stages[1].Start < rep.Stages[0].End {
+		t.Errorf("DependsOn violated: stage 1 started %v before stage 0 ended %v",
+			rep.Stages[1].Start, rep.Stages[0].End)
+	}
+}
+
+// TestFairSharePrefersLightJobs pits a long job against a short one
+// submitted together: under FIFO the short job queues behind the long one's
+// task backlog; under Fair it gets its share of slots and finishes earlier.
+func TestFairSharePrefersLightJobs(t *testing.T) {
+	shortRuntime := func(pol InterJobPolicy) time.Duration {
+		long, inLong := pipelineJob("long", 64)
+		short, inShort := pipelineJob("short", 4)
+		// Static{4} caps the cluster at 16 slots so the long job's task
+		// backlog actually queues — with ample slots the policies tie.
+		opts := testOptions(4, core.Static{IOThreads: 4})
+		opts.JobPolicy = pol
+		opts.Inputs = []Input{inLong, inShort}
+		e, err := NewEngine(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Submit(long); err != nil {
+			t.Fatal(err)
+		}
+		h, err := e.Submit(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := h.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Runtime
+	}
+	fifo := shortRuntime(FIFO{})
+	fair := shortRuntime(Fair{})
+	if fair >= fifo {
+		t.Errorf("short job: %v under FAIR, %v under FIFO — fair share should help it", fair, fifo)
+	}
+}
+
+// TestSubmitAtStaggersAdmission checks that a job submitted mid-run is
+// admitted at its submission time and its runtime is measured from there.
+func TestSubmitAtStaggersAdmission(t *testing.T) {
+	specA, inA := pipelineJob("alpha", 16)
+	specB, inB := pipelineJob("beta", 4)
+	opts := testOptions(4, core.Default{})
+	opts.Inputs = []Input{inA, inB}
+	var trace bytes.Buffer
+	opts.Trace = &trace
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(specA); err != nil {
+		t.Fatal(err)
+	}
+	late := 30 * time.Second
+	h, err := e.SubmitAt(late, specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stages[0].Start < late {
+		t.Errorf("late job started at %v, before its submission time %v", rep.Stages[0].Start, late)
+	}
+	if got := rep.Stages[len(rep.Stages)-1].End - late; got != rep.Runtime {
+		t.Errorf("runtime = %v, want measured from submission: %v", rep.Runtime, got)
+	}
+	events, err := ReadTrace(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[int]float64{}
+	for _, ev := range events {
+		if ev.Type == TraceJobStart {
+			starts[ev.Job] = ev.At
+		}
+	}
+	if len(starts) != 2 || starts[1] != late.Seconds() {
+		t.Errorf("job_start events = %v, want job 1 at %v", starts, late.Seconds())
+	}
+}
+
+// TestJobFailureIsolated checks that one job aborting does not take down
+// its neighbours on the same engine.
+func TestJobFailureIsolated(t *testing.T) {
+	good, inGood := pipelineJob("good", 8)
+	bad := &job.JobSpec{
+		Name: "bad",
+		Stages: []*job.StageSpec{{
+			ID: 0, Name: "explode", NumTasks: 8,
+			Work: func(task int) job.Work {
+				return job.WorkFunc(func(tc job.TaskContext) error {
+					tc.Compute(0.05)
+					return fmt.Errorf("boom")
+				})
+			},
+		}},
+	}
+	opts := testOptions(4, core.Default{})
+	opts.Inputs = []Input{inGood}
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := e.Submit(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := e.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatalf("engine failed wholesale: %v", err)
+	}
+	if _, err := hb.Report(); err == nil {
+		t.Fatal("failing job reported success")
+	}
+	rep, err := hg.Report()
+	if err != nil {
+		t.Fatalf("healthy job dragged down by its neighbour: %v", err)
+	}
+	if rep.Runtime <= 0 {
+		t.Fatal("healthy job has no runtime")
+	}
+}

@@ -107,13 +107,23 @@ func (sr StageReport) ThreadsLabel() string {
 
 // JobReport summarizes one job run.
 type JobReport struct {
+	// ID is the job's submission index on its engine.
+	ID int
+	// Job is the job's name; Policy the executor sizing policy; Sched the
+	// inter-job scheduling policy (FIFO/FAIR) the run used.
 	Job     string
 	Policy  string
+	Sched   string
 	Runtime time.Duration
-	Stages  []StageReport
+	// Stages is indexed by stage ID. Under concurrent stages the
+	// utilization percentages describe the whole cluster during each
+	// stage's window, not that stage's own traffic.
+	Stages []StageReport
 
-	// DiskReadBytes/DiskWriteBytes are whole-run totals across nodes
-	// (Table 2's "I/O activity").
+	// DiskReadBytes/DiskWriteBytes/NetBytes are the job's whole-run
+	// device totals (Table 2's "I/O activity"), attributed from
+	// task-level metrics — concurrent jobs on one cluster never count
+	// each other's traffic.
 	DiskReadBytes  int64
 	DiskWriteBytes int64
 	NetBytes       int64

@@ -1,0 +1,665 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sae/internal/cluster"
+	"sae/internal/dfs"
+	"sae/internal/engine/job"
+	"sae/internal/psres"
+)
+
+// setKey identifies one task set cluster-wide: stage IDs are only unique
+// within a job, so everything shared between jobs (task sets, shuffle
+// registry, executor controllers) is keyed by (job, stage).
+type setKey struct {
+	job   int
+	stage int
+}
+
+// JobSnapshot is the scheduler's view of one runnable job, handed to the
+// inter-job policy for ordering decisions.
+type JobSnapshot struct {
+	// ID is the job's submission index.
+	ID int
+	// SubmittedAt is the job's admission time on the sim clock.
+	SubmittedAt time.Duration
+	// Running counts the job's in-flight task attempts across the
+	// cluster — its current share of the executor slots.
+	Running int
+}
+
+// InterJobPolicy orders jobs competing for executor slots, like Spark's
+// FIFO/FAIR scheduler pools. Before must be a strict total order (break
+// ties by ID) so scheduling stays deterministic.
+type InterJobPolicy interface {
+	Name() string
+	// Before reports whether job a should be offered free slots before
+	// job b.
+	Before(a, b JobSnapshot) bool
+}
+
+// FIFO serves jobs strictly in submission order: an earlier job takes every
+// slot it can use before a later job sees any.
+type FIFO struct{}
+
+// Name implements InterJobPolicy.
+func (FIFO) Name() string { return "FIFO" }
+
+// Before implements InterJobPolicy.
+func (FIFO) Before(a, b JobSnapshot) bool {
+	if a.SubmittedAt != b.SubmittedAt {
+		return a.SubmittedAt < b.SubmittedAt
+	}
+	return a.ID < b.ID
+}
+
+// Fair offers free slots to the job with the fewest running tasks, evening
+// out each job's share of the executor pool (Spark's FAIR pools with equal
+// weights).
+type Fair struct{}
+
+// Name implements InterJobPolicy.
+func (Fair) Name() string { return "FAIR" }
+
+// Before implements InterJobPolicy.
+func (Fair) Before(a, b JobSnapshot) bool {
+	if a.Running != b.Running {
+		return a.Running < b.Running
+	}
+	return a.ID < b.ID
+}
+
+// taskSet tracks one set of runnable tasks at the driver: a stage's
+// primary task wave, or a lineage-recovery subset regenerating lost map
+// outputs of an earlier stage.
+type taskSet struct {
+	key   setKey
+	js    *jobState
+	stage *job.StageSpec
+	// recovery marks a resubmitted parent map stage; recovery sets skip
+	// speculation and stage statistics, and run under whatever controller
+	// settings the executors' active stages chose.
+	recovery bool
+	// only restricts a recovery set to specific task indices.
+	only map[int]bool
+
+	pending []int // task indices not yet assigned
+	splits  [][]dfs.Block
+	total   int
+	done    int
+
+	taskDone map[int]bool
+	attempts map[int]int // failed attempts per task (abort threshold)
+	launches map[int]int // total launches per task (chaos attempt index)
+	// copies[task] lists executors currently running an attempt.
+	copies map[int][]int
+
+	// Speculation bookkeeping (primary sets only).
+	launchAt   map[int]time.Duration // first launch per task
+	lastExec   map[int]int           // latest executor per task
+	noExec     map[int]int           // executor to avoid (retries, speculative copies)
+	speculated map[int]bool
+	durations  []time.Duration
+
+	retries     int
+	speculative int
+
+	// Stage-window snapshots (primary sets only; see activateStage).
+	start      time.Duration
+	usage0     []cluster.Usage
+	disk0      []psres.Stats
+	read0      int64
+	write0     int64
+	net0       int64
+	lost0      int
+	resub0     int
+	requeue0   int
+	recovered0 int64
+	stats      []ExecutorStageStats
+}
+
+func newTaskSet(key setKey, js *jobState, stage *job.StageSpec, recovery bool, only []int) *taskSet {
+	ts := &taskSet{
+		key:        key,
+		js:         js,
+		stage:      stage,
+		recovery:   recovery,
+		taskDone:   make(map[int]bool),
+		attempts:   make(map[int]int),
+		launches:   make(map[int]int),
+		copies:     make(map[int][]int),
+		launchAt:   make(map[int]time.Duration),
+		lastExec:   make(map[int]int),
+		noExec:     make(map[int]int),
+		speculated: make(map[int]bool),
+	}
+	if recovery {
+		ts.only = make(map[int]bool, len(only))
+		for _, t := range only {
+			ts.only[t] = true
+			ts.pending = append(ts.pending, t)
+		}
+		ts.total = len(only)
+	} else {
+		for i := 0; i < stage.NumTasks; i++ {
+			ts.pending = append(ts.pending, i)
+		}
+		ts.total = stage.NumTasks
+	}
+	return ts
+}
+
+// contains reports whether task belongs to this set's domain.
+func (ts *taskSet) contains(task int) bool {
+	if ts.only != nil {
+		return ts.only[task]
+	}
+	return task >= 0 && task < ts.stage.NumTasks
+}
+
+// addTask extends a recovery set with another lost task.
+func (ts *taskSet) addTask(task int) {
+	if ts.only[task] {
+		return
+	}
+	ts.only[task] = true
+	ts.pending = append(ts.pending, task)
+	ts.total++
+}
+
+// inFlight reports whether any attempt of task is currently running.
+func (ts *taskSet) inFlight(task int) bool { return len(ts.copies[task]) > 0 }
+
+// isPending reports whether task is queued for assignment.
+func (ts *taskSet) isPending(task int) bool {
+	for _, t := range ts.pending {
+		if t == task {
+			return true
+		}
+	}
+	return false
+}
+
+// dropCopy removes one running attempt of task on exec.
+func (ts *taskSet) dropCopy(task, exec int) {
+	execs := ts.copies[task]
+	for i, e := range execs {
+		if e == exec {
+			ts.copies[task] = append(execs[:i], execs[i+1:]...)
+			return
+		}
+	}
+}
+
+// tasksOn returns the sorted task indices with a running attempt on exec.
+func (ts *taskSet) tasksOn(exec int) []int {
+	var tasks []int
+	for task, execs := range ts.copies {
+		for _, e := range execs {
+			if e == exec {
+				tasks = append(tasks, task)
+				break
+			}
+		}
+	}
+	sort.Ints(tasks)
+	return tasks
+}
+
+// taskScheduler places tasks from every job's active sets onto executor
+// slots: the TaskScheduler half of the split driver. The inter-job policy
+// decides which job's sets are offered a free slot first; within a job,
+// sets are served in ascending stage order so lineage-recovery sets
+// (earlier stages) run before the stages that wait on them.
+type taskScheduler struct {
+	eng    *Engine
+	policy InterJobPolicy
+	// sets holds every running task set, keyed by (job, stage).
+	sets map[setKey]*taskSet
+}
+
+func newTaskScheduler(eng *Engine, policy InterJobPolicy) *taskScheduler {
+	return &taskScheduler{eng: eng, policy: policy, sets: make(map[setKey]*taskSet)}
+}
+
+// primaryActive counts the active non-recovery task sets.
+func (s *taskScheduler) primaryActive() int {
+	n := 0
+	for _, ts := range s.sets {
+		if !ts.recovery {
+			n++
+		}
+	}
+	return n
+}
+
+// activeKeys returns the running sets' keys: jobs in policy order, stages
+// ascending within each job. Policies are strict total orders, so the
+// result is deterministic.
+func (s *taskScheduler) activeKeys() []setKey {
+	stagesOf := make(map[int][]int)
+	for key := range s.sets {
+		stagesOf[key.job] = append(stagesOf[key.job], key.stage)
+	}
+	jobs := make([]int, 0, len(stagesOf))
+	for id := range stagesOf {
+		jobs = append(jobs, id)
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		return s.policy.Before(s.eng.snapshotJob(jobs[i]), s.eng.snapshotJob(jobs[j]))
+	})
+	keys := make([]setKey, 0, len(s.sets))
+	for _, id := range jobs {
+		stages := stagesOf[id]
+		sort.Ints(stages)
+		for _, st := range stages {
+			keys = append(keys, setKey{job: id, stage: st})
+		}
+	}
+	return keys
+}
+
+// snapshotJob builds the policy's view of one job.
+func (e *Engine) snapshotJob(id int) JobSnapshot {
+	js := e.jobs[id]
+	return JobSnapshot{ID: id, SubmittedAt: js.submitAt, Running: js.running}
+}
+
+// handleTaskDone routes a completion to its task set by (job, stage).
+func (s *taskScheduler) handleTaskDone(m *taskDoneMsg) {
+	e := s.eng
+	em := e.em
+	if m.epoch != em.epochs[m.exec] {
+		// A stale incarnation's message; its slots were reclaimed when
+		// the loss was detected.
+		return
+	}
+	em.completed(m.exec, m.job)
+	js := e.jobs[m.job]
+	if !js.done {
+		// Task-level I/O attribution: every attempt reported while the
+		// job runs charges the job, including failed and losing
+		// speculative attempts — they occupied the devices on the job's
+		// behalf.
+		js.diskReadB += m.metrics.DiskReadBytes
+		js.diskWriteB += m.metrics.DiskWriteBytes
+		js.netB += m.metrics.NetBytes
+	}
+	ts := s.sets[setKey{job: m.job, stage: m.metrics.Stage}]
+	if ts == nil {
+		// A zombie from a finished stage or job (e.g. a losing
+		// speculative copy); its executor slot frees now.
+		s.assign(m.exec)
+		return
+	}
+	idx := m.metrics.Index
+	ts.dropCopy(idx, m.exec)
+
+	if m.err != nil {
+		e.trace(TraceEvent{Type: TraceTaskFail, Job: m.job, Stage: ts.stage.ID, Task: idx, Exec: m.exec, Detail: m.err.Error()})
+		if ts.taskDone[idx] {
+			// The other attempt already won; nothing to redo.
+			s.assign(m.exec)
+			return
+		}
+		var ff *fetchFailedError
+		if errors.As(m.err, &ff) {
+			// Real map output died with a node. Not the task's fault:
+			// requeue without charging an attempt, and resubmit the
+			// lost parent map tasks (lineage).
+			ts.pending = append(ts.pending, idx)
+			js.requeues++
+			s.ensureParents(ts)
+			s.assignAll()
+			return
+		}
+		ts.attempts[idx]++
+		if ts.attempts[idx] >= e.opts.TaskMaxFailures {
+			e.failJob(js, ts.stage.ID, fmt.Errorf("task %d failed %d times, last on executor %d: %w",
+				idx, ts.attempts[idx], m.exec, m.err))
+			s.assignAll()
+			return
+		}
+		ts.retries++
+		// Retry genuinely avoids the executor that just failed it.
+		ts.noExec[idx] = m.exec
+		em.noteFailure(m.exec, m.job, ts.stage.ID)
+		ts.pending = append(ts.pending, idx)
+		for i := range e.executors {
+			s.assign((m.exec + 1 + i) % len(e.executors))
+		}
+		return
+	}
+
+	em.failStreak[m.exec] = 0
+	if ts.taskDone[idx] {
+		// The other attempt already won the race.
+		s.assign(m.exec)
+		return
+	}
+	ts.taskDone[idx] = true
+	ts.done++
+	e.trace(TraceEvent{Type: TraceTaskEnd, Job: m.job, Stage: ts.stage.ID, Task: idx, Exec: m.exec})
+	if !ts.recovery {
+		ts.durations = append(ts.durations, m.metrics.Duration())
+		st := &ts.stats[m.exec]
+		st.Tasks++
+		if m.metrics.Local {
+			st.LocalTasks++
+		}
+		st.BlockedIO += m.metrics.BlockedIO
+		st.Bytes += m.metrics.BytesMoved
+		ts.speculative += s.speculate(ts)
+	}
+	if ts.recovery && ts.done >= ts.total {
+		// The lost map outputs are regenerated; dependents unblock.
+		delete(s.sets, ts.key)
+		e.trace(TraceEvent{Type: TraceStageEnd, Job: m.job, Stage: ts.stage.ID, Task: -1, Exec: -1, Detail: "recovery complete"})
+		s.assignAll()
+		return
+	}
+	if !ts.recovery && ts.done >= ts.total {
+		e.completeStage(ts)
+		s.assignAll()
+		return
+	}
+	s.assign(m.exec)
+}
+
+// handleThreads applies a ThreadCountUpdate to the slot table.
+func (s *taskScheduler) handleThreads(m *threadsMsg) {
+	em := s.eng.em
+	if !em.alive[m.exec] || m.epoch != em.epochs[m.exec] {
+		return
+	}
+	s.eng.trace(TraceEvent{Type: TraceResize, Job: m.job, Stage: m.stage, Task: -1, Exec: m.exec, Threads: m.threads})
+	em.limits[m.exec] = m.threads
+	s.assign(m.exec)
+}
+
+// handleExecLost reacts to a crash: reclaim the executor's slots, requeue
+// its in-flight attempts in every job, un-complete tasks whose registered
+// map output died with the node, and resubmit lost parent outputs other
+// sets depend on.
+func (s *taskScheduler) handleExecLost(m *execLostMsg) {
+	e := s.eng
+	em := e.em
+	if !em.alive[m.exec] && em.epochs[m.exec] >= m.epoch {
+		return
+	}
+	em.markLost(m.exec, m.epoch)
+	for _, js := range e.jobs {
+		if js.started && !js.done {
+			js.lostExecs++
+		}
+	}
+
+	keys := s.activeKeys()
+	for _, key := range keys {
+		ts := s.sets[key]
+		// Requeue attempts that were running on the dead executor.
+		for _, task := range ts.tasksOn(m.exec) {
+			ts.dropCopy(task, m.exec)
+			if !ts.taskDone[task] && !ts.inFlight(task) && !ts.isPending(task) {
+				ts.pending = append(ts.pending, task)
+				ts.js.requeues++
+			}
+		}
+		// Un-complete tasks whose shuffle output lived on the dead
+		// node: their results are gone even though they finished.
+		for _, task := range e.shuffle.lostTasks(key) {
+			if ts.contains(task) && ts.taskDone[task] {
+				ts.taskDone[task] = false
+				ts.done--
+				if !ts.inFlight(task) && !ts.isPending(task) {
+					ts.pending = append(ts.pending, task)
+				}
+				ts.js.requeues++
+			}
+		}
+	}
+	// Dependencies of running sets may now have holes in earlier stages.
+	for _, key := range keys {
+		if ts := s.sets[key]; ts != nil {
+			s.ensureParents(ts)
+		}
+	}
+	if !em.anyAssignable() && !e.restartPending() {
+		e.fatal = fmt.Errorf("all executors lost at %s", e.k.Now())
+		return
+	}
+	s.assignAll()
+}
+
+// handleExecJoin re-admits a restarted executor: fresh slot count from the
+// policy's initial threads (cmin for the dynamic policy) and the active
+// primary stages re-sent so its fresh per-stage controllers start new hill
+// climbs.
+func (s *taskScheduler) handleExecJoin(m *execJoinMsg) {
+	e := s.eng
+	em := e.em
+	if em.alive[m.exec] {
+		return
+	}
+	em.markJoined(m.exec, m.epoch)
+	ex := e.executors[m.exec]
+	limit := 0
+	for _, key := range s.activeKeys() {
+		ts := s.sets[key]
+		if ts.recovery {
+			continue
+		}
+		init := e.opts.Policy.InitialThreads(ex.info, ts.stage.Meta())
+		if limit == 0 || init < limit {
+			limit = init
+		}
+		ex.inbox.Send(e.cluster.ControlLatency(), execMsg{stageStart: &stageStartMsg{job: key.job, stage: ts.stage}})
+	}
+	em.limits[m.exec] = limit
+	s.assign(m.exec)
+}
+
+// ensureParents resubmits lost map outputs of every upstream stage ts
+// fetches from (recursively — a recovery set can itself depend on an even
+// earlier stage). Already-running recovery sets are extended in place.
+func (s *taskScheduler) ensureParents(ts *taskSet) {
+	e := s.eng
+	for _, parent := range ts.stage.ShuffleFrom {
+		pkey := setKey{job: ts.key.job, stage: parent}
+		lost := e.shuffle.lostTasks(pkey)
+		if len(lost) == 0 {
+			continue
+		}
+		if ps := s.sets[pkey]; ps != nil {
+			if ps.recovery {
+				for _, task := range lost {
+					if !ps.contains(task) {
+						ps.addTask(task)
+					}
+				}
+			}
+			// A non-recovery active parent is still running its
+			// primary wave; handleExecLost already requeued its lost
+			// tasks.
+			continue
+		}
+		spec := ts.js.specs[parent]
+		rs := newTaskSet(pkey, ts.js, spec, true, lost)
+		if spec.InputFile != "" {
+			if f, err := e.fs.Open(spec.InputFile); err == nil {
+				rs.splits = dfs.Splits(f, spec.NumTasks)
+			}
+		}
+		s.sets[pkey] = rs
+		ts.js.resubmissions++
+		e.trace(TraceEvent{Type: TraceStageResubmit, Job: ts.key.job, Stage: parent, Task: -1, Exec: -1,
+			Detail: fmt.Sprintf("%d lost map outputs, wanted by stage %d", len(lost), ts.stage.ID)})
+		s.ensureParents(rs)
+	}
+}
+
+// blocked reports whether ts must wait for upstream recovery: launching its
+// reduce tasks now would plan around the lost outputs and under-fetch.
+func (s *taskScheduler) blocked(ts *taskSet) bool {
+	return len(ts.stage.ShuffleFrom) > 0 && s.eng.shuffle.missing(ts.key.job, ts.stage.ShuffleFrom)
+}
+
+func (s *taskScheduler) assignAll() {
+	for i := range s.eng.executors {
+		s.assign(i)
+	}
+}
+
+// assign hands pending tasks to executor i while it has free slots,
+// serving jobs in policy order (and recovery sets before the waves that
+// wait on them), preferring tasks whose DFS split is local to the
+// executor's node and honouring per-task executor exclusions.
+func (s *taskScheduler) assign(i int) {
+	em := s.eng.em
+	if !em.assignable(i) {
+		return
+	}
+	for em.inflight[i] < em.limits[i] {
+		ts, pick := s.pickTask(i)
+		if ts == nil {
+			return
+		}
+		s.launch(ts, pick, i)
+	}
+}
+
+// pickTask selects the next pending task executor i should run: first a
+// local non-excluded task, then any non-excluded task, scanning task sets
+// in policy order. If no other executor has free slots, exclusions against
+// i are cleared rather than letting work stall.
+func (s *taskScheduler) pickTask(i int) (*taskSet, int) {
+	ex := s.eng.executors[i]
+	keys := s.activeKeys()
+	for _, key := range keys {
+		ts := s.sets[key]
+		if len(ts.pending) == 0 || s.blocked(ts) {
+			continue
+		}
+		// First pass: local tasks without an exclusion against i.
+		for j, t := range ts.pending {
+			if excl, ok := ts.noExec[t]; ok && excl == i {
+				continue
+			}
+			if ts.splits != nil {
+				blocks := ts.splits[t]
+				if len(blocks) > 0 && !blocks[0].LocalTo(ex.node.ID) {
+					continue
+				}
+			}
+			return ts, j
+		}
+		// Second pass: any task not excluded from i.
+		for j, t := range ts.pending {
+			if excl, ok := ts.noExec[t]; ok && excl == i {
+				continue
+			}
+			return ts, j
+		}
+	}
+	if !s.eng.em.otherFree(i) {
+		// Everything pending is excluded from i, but i is the only
+		// executor with free slots: drop the exclusions.
+		for _, key := range keys {
+			ts := s.sets[key]
+			if len(ts.pending) == 0 || s.blocked(ts) {
+				continue
+			}
+			for j, t := range ts.pending {
+				if excl, ok := ts.noExec[t]; ok && excl == i {
+					delete(ts.noExec, t)
+					return ts, j
+				}
+			}
+		}
+	}
+	return nil, -1
+}
+
+// launch sends ts.pending[pick] to executor i with a freshly-computed
+// input plan.
+func (s *taskScheduler) launch(ts *taskSet, pick, i int) {
+	e := s.eng
+	ex := e.executors[i]
+	task := ts.pending[pick]
+	ts.pending = append(ts.pending[:pick], ts.pending[pick+1:]...)
+	e.em.launched(i, ts.key.job)
+	ts.copies[task] = append(ts.copies[task], i)
+	if _, seen := ts.launchAt[task]; !seen {
+		ts.launchAt[task] = e.k.Now()
+	}
+	ts.lastExec[task] = i
+	detail := ""
+	if ts.recovery {
+		detail = "recovery"
+	}
+	e.trace(TraceEvent{Type: TraceTaskLaunch, Job: ts.key.job, Stage: ts.stage.ID, Task: task, Exec: i, Detail: detail})
+
+	lm := &launchMsg{job: ts.key.job, stage: ts.stage, index: task, attempt: ts.launches[task], epoch: e.em.epochs[i]}
+	ts.launches[task]++
+	if ts.splits != nil {
+		lm.blocks = ts.splits[task]
+		for _, b := range lm.blocks {
+			lm.inputTotal += b.Size
+		}
+	}
+	if len(ts.stage.ShuffleFrom) > 0 {
+		lm.segments = e.shuffle.reducePlan(ts.key.job, ts.stage.ShuffleFrom, ts.stage.NumTasks, task)
+		for _, seg := range lm.segments {
+			lm.inputTotal += seg.bytes
+		}
+	}
+	ex.inbox.Send(e.cluster.ControlLatency(), execMsg{launch: lm})
+}
+
+// speculate launches backup copies of stragglers once the stage is mostly
+// done (Spark's speculation): tasks still running past Multiplier× the
+// median completed duration are re-queued for a different executor. Each
+// task is speculated at most once. It returns the number of copies queued.
+// Tasks are scanned in sorted index order — launchAt is a map, and Go's
+// random map order would otherwise queue simultaneous stragglers in a
+// different order every run, breaking determinism.
+func (s *taskScheduler) speculate(ts *taskSet) int {
+	e := s.eng
+	if !e.opts.Speculation || len(ts.durations) == 0 {
+		return 0
+	}
+	if float64(ts.done) < e.opts.SpeculationQuantile*float64(ts.stage.NumTasks) {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ts.durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	threshold := time.Duration(float64(median) * e.opts.SpeculationMultiplier)
+	tasks := make([]int, 0, len(ts.launchAt))
+	for task := range ts.launchAt {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
+	launched := 0
+	for _, task := range tasks {
+		if ts.taskDone[task] || ts.speculated[task] || !ts.inFlight(task) {
+			continue
+		}
+		if e.k.Now()-ts.launchAt[task] <= threshold {
+			continue
+		}
+		ts.speculated[task] = true
+		ts.noExec[task] = ts.lastExec[task]
+		ts.pending = append(ts.pending, task)
+		e.trace(TraceEvent{Type: TraceSpeculate, Job: ts.key.job, Stage: ts.stage.ID, Task: task, Exec: ts.lastExec[task]})
+		launched++
+	}
+	if launched > 0 {
+		s.assignAll()
+	}
+	return launched
+}

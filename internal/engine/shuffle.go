@@ -15,64 +15,68 @@ type mapOutput struct {
 	lost bool
 }
 
-// shuffleRegistry tracks map-output placement per task, like Spark's
-// MapOutputTracker: each completed map task registers how many bytes of
-// shuffle data it spilled on which node; reduce tasks of downstream stages
-// fetch their share from each source node. When an executor is lost, every
-// output on its node is invalidated and the driver resubmits the owning
-// map tasks (lineage recovery); regenerated registrations replace the lost
-// entries and are counted as recovered bytes.
+// shuffleRegistry tracks map-output placement per (job, stage) task set,
+// like Spark's MapOutputTracker: each completed map task registers how many
+// bytes of shuffle data it spilled on which node; reduce tasks of downstream
+// stages fetch their share from each source node. Keys carry the job ID so
+// concurrent jobs with identical stage IDs never alias each other's output.
+// When an executor is lost, every output on its node is invalidated and the
+// driver resubmits the owning map tasks (lineage recovery); regenerated
+// registrations replace the lost entries and are counted as recovered bytes,
+// attributed to the owning job.
 type shuffleRegistry struct {
-	// outputs[stage] lists registered map outputs in registration order.
-	outputs map[int][]mapOutput
-	// index[stage][task] locates a task's entry in outputs[stage].
-	index map[int]map[int]int
+	// outputs[key] lists registered map outputs in registration order.
+	outputs map[setKey][]mapOutput
+	// index[key][task] locates a task's entry in outputs[key].
+	index map[setKey]map[int]int
 	// nodeGen[node] counts losses on node; fetch plans snapshot it so a
 	// plan computed before a loss fails validation even after the lost
 	// outputs were regenerated elsewhere.
 	nodeGen map[int]int
-	// recovered is the total bytes re-registered for lost outputs.
-	recovered int64
+	// recovered[job] is the total bytes re-registered for lost outputs of
+	// that job.
+	recovered map[int]int64
 }
 
 func newShuffleRegistry() *shuffleRegistry {
 	return &shuffleRegistry{
-		outputs: make(map[int][]mapOutput),
-		index:   make(map[int]map[int]int),
-		nodeGen: make(map[int]int),
+		outputs:   make(map[setKey][]mapOutput),
+		index:     make(map[setKey]map[int]int),
+		nodeGen:   make(map[int]int),
+		recovered: make(map[int]int64),
 	}
 }
 
-// addMapOutput registers bytes of shuffle output that task of stage spilled
+// addMapOutput registers bytes of shuffle output that task of key spilled
 // on node. The first successful registration wins (a losing speculative
 // copy's duplicate is dropped); a registration for a lost entry replaces it
 // and counts as recovery.
-func (r *shuffleRegistry) addMapOutput(stage, task, node int, bytes int64) {
+func (r *shuffleRegistry) addMapOutput(key setKey, task, node int, bytes int64) {
 	if bytes <= 0 {
 		return
 	}
-	idx := r.index[stage]
+	idx := r.index[key]
 	if idx == nil {
 		idx = make(map[int]int)
-		r.index[stage] = idx
+		r.index[key] = idx
 	}
 	if slot, ok := idx[task]; ok {
-		out := &r.outputs[stage][slot]
+		out := &r.outputs[key][slot]
 		if !out.lost {
 			return // an earlier attempt already won
 		}
-		r.recovered += bytes
+		r.recovered[key.job] += bytes
 		*out = mapOutput{task: task, node: node, bytes: bytes}
 		return
 	}
-	idx[task] = len(r.outputs[stage])
-	r.outputs[stage] = append(r.outputs[stage], mapOutput{task: task, node: node, bytes: bytes})
+	idx[task] = len(r.outputs[key])
+	r.outputs[key] = append(r.outputs[key], mapOutput{task: task, node: node, bytes: bytes})
 }
 
-// totalBytes returns stage's total currently-valid shuffle output.
-func (r *shuffleRegistry) totalBytes(stage int) int64 {
+// totalBytes returns the key's total currently-valid shuffle output.
+func (r *shuffleRegistry) totalBytes(key setKey) int64 {
 	var total int64
-	for _, out := range r.outputs[stage] {
+	for _, out := range r.outputs[key] {
 		if !out.lost {
 			total += out.bytes
 		}
@@ -85,8 +89,8 @@ func (r *shuffleRegistry) totalBytes(stage int) int64 {
 // node's generation so outstanding fetch plans go stale.
 func (r *shuffleRegistry) removeNode(node int) {
 	r.nodeGen[node]++
-	for stage := range r.outputs {
-		outs := r.outputs[stage]
+	for key := range r.outputs {
+		outs := r.outputs[key]
 		for i := range outs {
 			if outs[i].node == node {
 				outs[i].lost = true
@@ -95,11 +99,22 @@ func (r *shuffleRegistry) removeNode(node int) {
 	}
 }
 
-// lostTasks returns the sorted task indices of stage whose registered
-// output is currently lost.
-func (r *shuffleRegistry) lostTasks(stage int) []int {
+// dropJob forgets a finished job's registrations (its shuffle files are
+// cleaned up, as Spark does at application end).
+func (r *shuffleRegistry) dropJob(job int) {
+	for key := range r.outputs {
+		if key.job == job {
+			delete(r.outputs, key)
+			delete(r.index, key)
+		}
+	}
+}
+
+// lostTasks returns the sorted task indices of key whose registered output
+// is currently lost.
+func (r *shuffleRegistry) lostTasks(key setKey) []int {
 	var tasks []int
-	for _, out := range r.outputs[stage] {
+	for _, out := range r.outputs[key] {
 		if out.lost {
 			tasks = append(tasks, out.task)
 		}
@@ -108,11 +123,11 @@ func (r *shuffleRegistry) lostTasks(stage int) []int {
 	return tasks
 }
 
-// missing reports whether any of the given stages has lost output, i.e.
-// whether a reduce task fetching from them would under-read.
-func (r *shuffleRegistry) missing(from []int) bool {
+// missing reports whether any of the given stages of job has lost output,
+// i.e. whether a reduce task fetching from them would under-read.
+func (r *shuffleRegistry) missing(job int, from []int) bool {
 	for _, stage := range from {
-		for _, out := range r.outputs[stage] {
+		for _, out := range r.outputs[setKey{job, stage}] {
 			if out.lost {
 				return true
 			}
@@ -121,8 +136,9 @@ func (r *shuffleRegistry) missing(from []int) bool {
 	return false
 }
 
-// recoveredBytes returns the total bytes regenerated for lost outputs.
-func (r *shuffleRegistry) recoveredBytes() int64 { return r.recovered }
+// recoveredBytes returns the total bytes regenerated for lost outputs of
+// job.
+func (r *shuffleRegistry) recoveredBytes(job int) int64 { return r.recovered[job] }
 
 // segment is one reduce-side fetch from a source node. gen snapshots the
 // node's loss generation at plan time; segmentValid compares it at fetch
@@ -140,18 +156,18 @@ func (r *shuffleRegistry) segmentValid(s segment) bool {
 }
 
 // reducePlan returns the per-source-node fetch plan for reduce task idx of
-// numTasks, pulling from the given upstream stages. Shares divide evenly
-// with remainders to the lowest task indices, and segments are ordered by
-// node for determinism. Lost outputs are excluded — the driver must not
-// launch reduce tasks while any upstream output is missing (see
+// numTasks, pulling from the given upstream stages of job. Shares divide
+// evenly with remainders to the lowest task indices, and segments are
+// ordered by node for determinism. Lost outputs are excluded — the driver
+// must not launch reduce tasks while any upstream output is missing (see
 // shuffleRegistry.missing).
-func (r *shuffleRegistry) reducePlan(from []int, numTasks, idx int) []segment {
+func (r *shuffleRegistry) reducePlan(job int, from []int, numTasks, idx int) []segment {
 	if numTasks <= 0 {
 		panic(fmt.Sprintf("engine: reducePlan with %d tasks", numTasks))
 	}
 	byNode := make(map[int]int64)
 	for _, st := range from {
-		for _, out := range r.outputs[st] {
+		for _, out := range r.outputs[setKey{job, st}] {
 			if out.lost {
 				continue
 			}

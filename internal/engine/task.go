@@ -31,6 +31,7 @@ type taskContext struct {
 	eng     *Engine
 	p       *sim.Proc
 	ex      *Executor
+	jobID   int
 	stage   *job.StageSpec
 	index   int
 	attempt int
@@ -55,9 +56,16 @@ type taskContext struct {
 	inputTotal int64
 
 	// accounting
-	blockedIO    time.Duration
-	bytesMoved   int64
-	shuffleOut   int64
+	blockedIO  time.Duration
+	bytesMoved int64
+	shuffleOut int64
+	// diskReadB/diskWriteB/netB mirror every device charge this task
+	// issues (including spill amplification and remote-node reads), so
+	// the driver can attribute device traffic to the owning job without
+	// cluster-global counter deltas that double-count under concurrency.
+	diskReadB    int64
+	diskWriteB   int64
+	netB         int64
 	allLocal     bool
 	computeSpent float64
 }
@@ -90,6 +98,7 @@ func (tc *taskContext) diskRead(node int, bytes int64) {
 	t0 := tc.p.Now()
 	d.Read(tc.p, bytes)
 	tc.blockedIO += time.Duration(float64(tc.p.Now()-t0) * ov)
+	tc.diskReadB += bytes
 }
 
 // diskWrite writes bytes to node's disk, attributing contention wait to ε.
@@ -99,6 +108,16 @@ func (tc *taskContext) diskWrite(node int, bytes int64) {
 	t0 := tc.p.Now()
 	d.Write(tc.p, bytes)
 	tc.blockedIO += time.Duration(float64(tc.p.Now()-t0) * ov)
+	tc.diskWriteB += bytes
+}
+
+// transfer moves bytes across the network (free when src == dst), counting
+// them toward the task's attributed network traffic.
+func (tc *taskContext) transfer(src, dst int, bytes int64) {
+	tc.eng.cluster.Transfer(tc.p, src, dst, bytes)
+	if src != dst {
+		tc.netB += bytes
+	}
 }
 
 // ReadInput implements job.TaskContext: consume up to max bytes of the
@@ -123,7 +142,7 @@ func (tc *taskContext) ReadInput(max int64) int64 {
 			tc.allLocal = false
 			src := b.Replicas[tc.ex.node.ID%len(b.Replicas)]
 			tc.diskRead(src, n)
-			tc.eng.cluster.Transfer(tc.p, src, tc.ex.node.ID, n)
+			tc.transfer(src, tc.ex.node.ID, n)
 		}
 		read += n
 		tc.blockOff += n
@@ -159,7 +178,7 @@ func (tc *taskContext) ReadInput(max int64) int64 {
 		// disk; remote segments additionally cross the network
 		// (Spark's shuffle block fetch).
 		tc.diskRead(s.node, n)
-		tc.eng.cluster.Transfer(tc.p, s.node, tc.ex.node.ID, n)
+		tc.transfer(s.node, tc.ex.node.ID, n)
 		read += n
 		tc.segOff += n
 		if tc.segOff >= s.bytes {
@@ -221,6 +240,8 @@ func (tc *taskContext) WriteOutput(bytes int64) {
 	tc.eng.fs.Write(tc.p, tc.ex.node.ID, tc.stage.OutputFile, bytes)
 	tc.blockedIO += time.Duration(float64(tc.p.Now()-t0) * ov)
 	tc.bytesMoved += bytes
+	// DFS writes charge the writer's local disk (see dfs.FS.Write).
+	tc.diskWriteB += bytes
 }
 
 // Spill implements job.TaskContext: write temporary data to local disk and
@@ -265,7 +286,7 @@ func (tc *taskContext) run(work job.Work) (job.TaskMetrics, error) {
 		err = tc.failed
 	}
 	if tc.shuffleOut > 0 && err == nil && tc.ex.epoch == tc.epoch {
-		tc.eng.shuffle.addMapOutput(tc.stage.ID, tc.index, tc.ex.node.ID, tc.shuffleOut)
+		tc.eng.shuffle.addMapOutput(setKey{job: tc.jobID, stage: tc.stage.ID}, tc.index, tc.ex.node.ID, tc.shuffleOut)
 	}
 	disk1 := tc.ex.node.Disk.Snapshot()
 	busyFrac := 0.0
@@ -273,13 +294,16 @@ func (tc *taskContext) run(work job.Work) (job.TaskMetrics, error) {
 		busyFrac = (disk1.Busy - disk0.Busy).Seconds() / win
 	}
 	return job.TaskMetrics{
-		Stage:        tc.stage.ID,
-		Index:        tc.index,
-		Start:        start,
-		End:          tc.p.Now(),
-		BlockedIO:    tc.blockedIO,
-		BytesMoved:   tc.bytesMoved,
-		DiskBusyFrac: busyFrac,
-		Local:        tc.allLocal,
+		Stage:          tc.stage.ID,
+		Index:          tc.index,
+		Start:          start,
+		End:            tc.p.Now(),
+		BlockedIO:      tc.blockedIO,
+		BytesMoved:     tc.bytesMoved,
+		DiskReadBytes:  tc.diskReadB,
+		DiskWriteBytes: tc.diskWriteB,
+		NetBytes:       tc.netB,
+		DiskBusyFrac:   busyFrac,
+		Local:          tc.allLocal,
 	}, err
 }

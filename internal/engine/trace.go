@@ -12,6 +12,9 @@ import (
 type TraceEvent struct {
 	At   float64 `json:"t"`
 	Type string  `json:"type"`
+	// Job is the job ID (submission index; -1 for engine-wide events
+	// such as executor crashes).
+	Job int `json:"job"`
 	// Stage is the stage ID (-1 when not applicable).
 	Stage int `json:"stage"`
 	// Task is the task index (-1 when not applicable).
@@ -25,6 +28,8 @@ type TraceEvent struct {
 
 // Trace event types.
 const (
+	TraceJobStart   = "job_start"
+	TraceJobEnd     = "job_end"
 	TraceStageStart = "stage_start"
 	TraceStageEnd   = "stage_end"
 	TraceTaskLaunch = "task_launch"

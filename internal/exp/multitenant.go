@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"sae/internal/core"
+	"sae/internal/engine"
+	"sae/internal/engine/job"
+	"sae/internal/workloads"
+)
+
+// RunMulti executes several workloads concurrently on one engine under the
+// given inter-job policy and returns their reports in submission order.
+// Inputs shared between workloads (same file name) are created once; the
+// first workload's block size wins, as the engine has one DFS.
+func (s Setup) RunMulti(ws []*workloads.Spec, policy job.Policy, jobPolicy engine.InterJobPolicy) ([]*engine.JobReport, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("exp: no workloads")
+	}
+	var inputs []engine.Input
+	seen := map[string]bool{}
+	for _, w := range ws {
+		for _, in := range w.Inputs {
+			if !seen[in.Name] {
+				seen[in.Name] = true
+				inputs = append(inputs, in)
+			}
+		}
+	}
+	opts := engine.Options{
+		Cluster:   s.clusterConfig(),
+		BlockSize: ws[0].BlockSize,
+		Policy:    policy,
+		JobPolicy: jobPolicy,
+		Faults:    s.Faults,
+		Inputs:    inputs,
+		Trace:     s.Trace,
+	}
+	if s.Config != nil {
+		if err := engine.ApplyConfig(&opts, s.Config); err != nil {
+			return nil, err
+		}
+		if ws[0].BlockSize != 0 && !s.Config.IsSet("files.maxPartitionBytes") {
+			opts.BlockSize = ws[0].BlockSize
+		}
+	}
+	e, err := engine.NewEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	var handles []*engine.JobHandle
+	for _, w := range ws {
+		h, err := e.Submit(w.Job)
+		if err != nil {
+			return nil, fmt.Errorf("exp: submit %s: %w", w.Name, err)
+		}
+		handles = append(handles, h)
+	}
+	if err := e.Wait(); err != nil {
+		return nil, err
+	}
+	reps := make([]*engine.JobReport, len(handles))
+	for i, h := range handles {
+		if reps[i], err = h.Report(); err != nil {
+			return nil, fmt.Errorf("exp: job %s: %w", ws[i].Name, err)
+		}
+	}
+	return reps, nil
+}
+
+// MultiTenantRow is one (mix, scheduler, policy) cell of the multi-tenant
+// matrix.
+type MultiTenantRow struct {
+	Mix    string
+	Sched  string
+	Policy string
+	// MakespanSec is when the last job of the mix finished.
+	MakespanSec float64
+	// MeanJobSec is the mean per-job runtime (each measured from its own
+	// submission).
+	MeanJobSec float64
+	// JobSecs are the individual job runtimes in submission order.
+	JobSecs []float64
+}
+
+// MultiTenantResult is the multi-tenancy experiment: mixes of concurrent
+// Terasort and PageRank jobs under each inter-job scheduler × executor
+// sizing policy. It extends the paper's single-tenant evaluation to the
+// shared-cluster setting the DAG scheduler enables: does self-adaptive
+// sizing still pay off when jobs compete for the same executors, and what
+// does fair sharing cost or buy on top of it?
+type MultiTenantResult struct {
+	Rows []MultiTenantRow
+}
+
+// MultiTenant runs each workload mix under {FIFO, FAIR} × {default,
+// dynamic}.
+func MultiTenant(s Setup) (*MultiTenantResult, error) {
+	cfg := s.workloadConfig()
+	mixes := []struct {
+		name string
+		ws   func() []*workloads.Spec
+	}{
+		{"2xterasort", func() []*workloads.Spec {
+			return []*workloads.Spec{workloads.Terasort(cfg), workloads.Terasort(cfg)}
+		}},
+		{"2xpagerank", func() []*workloads.Spec {
+			return []*workloads.Spec{workloads.PageRank(cfg), workloads.PageRank(cfg)}
+		}},
+		{"terasort+pagerank", func() []*workloads.Spec {
+			return []*workloads.Spec{workloads.Terasort(cfg), workloads.PageRank(cfg)}
+		}},
+		{"2xterasort+2xpagerank", func() []*workloads.Spec {
+			return []*workloads.Spec{
+				workloads.Terasort(cfg), workloads.PageRank(cfg),
+				workloads.Terasort(cfg), workloads.PageRank(cfg),
+			}
+		}},
+	}
+	schedulers := []engine.InterJobPolicy{engine.FIFO{}, engine.Fair{}}
+	policies := []job.Policy{core.Default{}, core.DefaultDynamic()}
+	res := &MultiTenantResult{}
+	for _, mix := range mixes {
+		for _, sched := range schedulers {
+			for _, pol := range policies {
+				reps, err := s.RunMulti(mix.ws(), pol, sched)
+				if err != nil {
+					return nil, fmt.Errorf("multitenant %s/%s/%s: %w",
+						mix.name, sched.Name(), pol.Name(), err)
+				}
+				row := MultiTenantRow{Mix: mix.name, Sched: sched.Name(), Policy: pol.Name()}
+				var sum, makespan float64
+				for _, rep := range reps {
+					sec := rep.Runtime.Seconds()
+					row.JobSecs = append(row.JobSecs, sec)
+					sum += sec
+					// All jobs are submitted at t=0, so the makespan is
+					// the slowest job's runtime.
+					if sec > makespan {
+						makespan = sec
+					}
+				}
+				row.MakespanSec = makespan
+				row.MeanJobSec = sum / float64(len(reps))
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Get returns the row for (mix, sched, policy).
+func (r *MultiTenantResult) Get(mix, sched, policy string) (MultiTenantRow, bool) {
+	for _, row := range r.Rows {
+		if row.Mix == mix && row.Sched == sched && row.Policy == policy {
+			return row, true
+		}
+	}
+	return MultiTenantRow{}, false
+}
+
+func (r *MultiTenantResult) String() string {
+	var b strings.Builder
+	b.WriteString("Multi-tenant — concurrent job mixes × inter-job scheduler × sizing policy\n")
+	fmt.Fprintf(&b, "  %-22s %-5s %-16s %9s %9s  %s\n",
+		"mix", "sched", "policy", "makespan", "mean-job", "per-job")
+	for _, row := range r.Rows {
+		var jobs []string
+		for _, s := range row.JobSecs {
+			jobs = append(jobs, fmt.Sprintf("%.1f", s))
+		}
+		fmt.Fprintf(&b, "  %-22s %-5s %-16s %8.1fs %8.1fs  [%s]\n",
+			row.Mix, row.Sched, row.Policy, row.MakespanSec, row.MeanJobSec,
+			strings.Join(jobs, " "))
+	}
+	return b.String()
+}
+
+// CSVTables implements Tabular.
+func (r *MultiTenantResult) CSVTables() map[string][][]string {
+	rows := [][]string{{"mix", "sched", "policy", "makespan_sec", "mean_job_sec", "job_secs"}}
+	for _, row := range r.Rows {
+		var jobs []string
+		for _, s := range row.JobSecs {
+			jobs = append(jobs, ftoa(s))
+		}
+		rows = append(rows, []string{
+			row.Mix, row.Sched, row.Policy,
+			ftoa(row.MakespanSec), ftoa(row.MeanJobSec), strings.Join(jobs, ";"),
+		})
+	}
+	return map[string][][]string{"multitenant": rows}
+}

@@ -32,7 +32,10 @@ type runState struct {
 	// the shuffle buckets. Task attempts replayed after an injected fault
 	// or executor loss re-run the whole closure (the sim only no-ops the
 	// device charges), so without this guard a retry would append its
-	// records twice.
+	// records twice. Sibling map stages run concurrently under the DAG
+	// scheduler, but the sim is single-threaded and deterministic, so
+	// bucket append order — hence any order-sensitive gather — replays
+	// identically.
 	emitted map[[2]int]bool
 }
 
@@ -113,7 +116,12 @@ func stageTasks(pl *stagePlan) int {
 	return pl.base.partitions
 }
 
-// compile cuts the plan into stages in dependency order.
+// compile cuts the plan into stages in dependency order. The emitted
+// ShuffleFrom lists are the job's real DAG edges: the engine's stage-DAG
+// scheduler runs stages with no path between them concurrently, so the
+// sibling map stages feeding a multi-parent wide node (both sides of a
+// join, the parents of a union's shuffle) overlap on the cluster, while
+// each reduce stage still waits for all of its map stages.
 func compile(c *Context, target *node, action, outputFile string) ([]*stagePlan, error) {
 	var plans []*stagePlan
 	// compiled[wideID] guards against emitting a wide node's map stages

@@ -112,9 +112,8 @@ func TestExperimentRegistry(t *testing.T) {
 	if ids[0] != "table1" || ids[1] != "table2" || ids[2] != "fig1" {
 		t.Fatalf("order = %v", ids[:3])
 	}
-	last := ids[len(ids)-1]
-	if last != "interference" && last != "ablation" {
-		t.Fatalf("extensions should sort last, got %q", last)
+	if last := ids[len(ids)-1]; last != "multitenant" {
+		t.Fatalf("extensions should sort last alphabetically, got %q", last)
 	}
 	// fig10 after fig9 (numeric, not lexicographic).
 	var i9, i10 int
