@@ -302,6 +302,34 @@ func BenchmarkFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkGrayFail regenerates the gray-failure matrix: Terasort under a
+// slow node, a heartbeat-dropping partition and corrupt DFS replicas, for
+// each policy. The headline metric is the dynamic policy completing under
+// a degraded (slow, not dead) node.
+func BenchmarkGrayFail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.GrayFail(exp.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Policy != "dynamic" {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(row.Schedule, "slow"):
+				b.ReportMetric(row.Seconds, "dyn-slow-runtime-s")
+				b.ReportMetric(row.DegradedPct, "dyn-slow-degraded-%")
+			case strings.HasPrefix(row.Schedule, "partition"):
+				b.ReportMetric(float64(row.Suspected), "dyn-partition-suspected")
+				b.ReportMetric(float64(row.Fenced), "dyn-partition-fenced")
+			case strings.HasPrefix(row.Schedule, "corrupt"):
+				b.ReportMetric(float64(row.ChecksumFailovers), "dyn-corrupt-failovers")
+			}
+		}
+	}
+}
+
 // BenchmarkMultiTenant regenerates the multi-tenancy matrix: concurrent
 // Terasort/PageRank mixes under FIFO and fair sharing, with default and
 // dynamic executor sizing.

@@ -129,6 +129,10 @@ func Experiments() map[string]Experiment {
 			ID: "faults", Title: "Terasort under chaos schedules (fault-tolerance extension)",
 			Run: func(s Setup) (fmt.Stringer, error) { return exp.Faults(s) },
 		},
+		"grayfail": {
+			ID: "grayfail", Title: "Terasort under gray failures — slow node, partition, corrupt replicas (robustness extension)",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.GrayFail(s) },
+		},
 		"multitenant": {
 			ID: "multitenant", Title: "Concurrent job mixes under FIFO/FAIR (multi-tenancy extension)",
 			Run: func(s Setup) (fmt.Stringer, error) { return exp.MultiTenant(s) },

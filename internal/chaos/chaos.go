@@ -28,6 +28,32 @@ type Crash struct {
 	RestartAfter time.Duration
 }
 
+// Slow schedules a gray failure: from At onward, one node's disk and CPU
+// serve at 1/Factor of their nominal rate (a degrading drive, thermal
+// throttling, a noisy neighbour stealing cycles). The executor stays alive
+// and keeps heartbeating — nothing crashes, everything just gets slower.
+type Slow struct {
+	// Exec is the executor/node ID to degrade.
+	Exec int
+	// At is the virtual time the degradation sets in.
+	At time.Duration
+	// Factor divides the node's device service rates (2 = half speed).
+	Factor float64
+}
+
+// Partition cuts one executor's network for a window: its heartbeats and
+// shuffle fetches to/from it are dropped while tasks already on the node
+// keep running — the classic gray failure that turns a failure detector's
+// timeout into a false positive.
+type Partition struct {
+	// Exec is the executor/node ID to isolate.
+	Exec int
+	// At is the virtual time the partition starts.
+	At time.Duration
+	// Duration is how long the partition lasts.
+	Duration time.Duration
+}
+
 // Plan is a named, seeded fault schedule.
 type Plan struct {
 	// Name labels the plan in reports ("quiet", "crash@2m", …).
@@ -36,12 +62,22 @@ type Plan struct {
 	Seed int64
 	// Crashes lists scheduled executor losses, in no particular order.
 	Crashes []Crash
+	// Slows lists scheduled node degradations (gray failures).
+	Slows []Slow
+	// Partitions lists scheduled network partitions (gray failures).
+	Partitions []Partition
 	// TaskFaultRate is the probability that a task attempt suffers a
 	// transient I/O fault partway through its input.
 	TaskFaultRate float64
 	// FetchFaultRate is the probability that a reduce task attempt's
 	// shuffle fetch fails transiently.
 	FetchFaultRate float64
+	// CorruptRate is the probability that one DFS block replica is
+	// bit-rotten: reads of it return data whose CRC32 does not match the
+	// block's stored checksum. Rot is a property of the (block, node)
+	// pair — re-reading the same replica fails the same way; failover to
+	// another replica is the only way out.
+	CorruptRate float64
 	// MaxInjected caps how many attempts of one task may receive
 	// injected faults (0 selects 2), so injected transients can never
 	// exhaust the engine's task.maxFailures budget on their own.
@@ -92,9 +128,32 @@ func Mayhem(horizon time.Duration, seed int64) *Plan {
 	}
 }
 
+// SlowAt returns a plan degrading executor exec's devices by factor from t.
+func SlowAt(exec int, at time.Duration, factor float64) *Plan {
+	return &Plan{
+		Name:  fmt.Sprintf("slow%d@%sx%g", exec, at, factor),
+		Slows: []Slow{{Exec: exec, At: at, Factor: factor}},
+	}
+}
+
+// PartitionAt returns a plan isolating executor exec's network for dur
+// starting at t.
+func PartitionAt(exec int, at, dur time.Duration) *Plan {
+	return &Plan{
+		Name:       fmt.Sprintf("partition%d@%s+%s", exec, at, dur),
+		Partitions: []Partition{{Exec: exec, At: at, Duration: dur}},
+	}
+}
+
+// Corrupt returns a plan bit-rotting the given fraction of block replicas.
+func Corrupt(rate float64, seed int64) *Plan {
+	return &Plan{Name: fmt.Sprintf("corrupt:%g", rate), Seed: seed, CorruptRate: rate}
+}
+
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Crashes) == 0 && p.TaskFaultRate <= 0 && p.FetchFaultRate <= 0)
+	return p == nil || (len(p.Crashes) == 0 && len(p.Slows) == 0 && len(p.Partitions) == 0 &&
+		p.TaskFaultRate <= 0 && p.FetchFaultRate <= 0 && p.CorruptRate <= 0)
 }
 
 // String returns the plan's name.
@@ -149,12 +208,89 @@ func (p *Plan) FetchFault(stage, task, attempt, attemptBudget int) bool {
 	return p.roll(3, stage, task, attempt, p.FetchFaultRate)
 }
 
+// FetchFaultTry reports whether the given retry (try 0 = the first fetch
+// attempt) of a reduce attempt's shuffle fetch fails transiently. Try 0
+// delegates to FetchFault so plans written before bounded fetch retries keep
+// rolling the same coordinates; later tries roll fresh coordinates under the
+// same per-task attempt budget, so a retry loop can observe a fault clear.
+func (p *Plan) FetchFaultTry(stage, task, attempt, try, attemptBudget int) bool {
+	if try == 0 {
+		return p.FetchFault(stage, task, attempt, attemptBudget)
+	}
+	if p == nil || p.FetchFaultRate <= 0 {
+		return false
+	}
+	if lim := p.maxInjected(); attemptBudget > lim {
+		attemptBudget = lim
+	}
+	if attempt >= attemptBudget {
+		return false
+	}
+	return p.roll(5, stage, task, attempt*64+try, p.FetchFaultRate)
+}
+
+// CorruptReplica reports whether the replica of the block with checksum sum
+// stored on the given node is bit-rotten. The roll is keyed by (sum, node)
+// only — no attempt coordinate — so re-reads of the same replica fail
+// identically and failover to another replica is the only way out.
+func (p *Plan) CorruptReplica(sum uint32, node int) bool {
+	if p == nil || p.CorruptRate <= 0 {
+		return false
+	}
+	return p.roll(4, int(sum), node, 0, p.CorruptRate)
+}
+
+// Partitioned reports whether executor exec is inside a partition window at
+// virtual time now. Windows are half-open: [At, At+Duration).
+func (p *Plan) Partitioned(exec int, now time.Duration) bool {
+	if p == nil {
+		return false
+	}
+	for _, w := range p.Partitions {
+		if w.Exec == exec && now >= w.At && now < w.At+w.Duration {
+			return true
+		}
+	}
+	return false
+}
+
 // SortedCrashes returns the crash schedule ordered by time then executor.
 func (p *Plan) SortedCrashes() []Crash {
 	if p == nil {
 		return nil
 	}
 	out := append([]Crash(nil), p.Crashes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Exec < out[j].Exec
+	})
+	return out
+}
+
+// SortedSlows returns the degradation schedule ordered by time then executor.
+func (p *Plan) SortedSlows() []Slow {
+	if p == nil {
+		return nil
+	}
+	out := append([]Slow(nil), p.Slows...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Exec < out[j].Exec
+	})
+	return out
+}
+
+// SortedPartitions returns the partition schedule ordered by start time then
+// executor.
+func (p *Plan) SortedPartitions() []Partition {
+	if p == nil {
+		return nil
+	}
+	out := append([]Partition(nil), p.Partitions...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].At != out[j].At {
 			return out[i].At < out[j].At
@@ -201,12 +337,21 @@ func splitmix(x uint64) uint64 {
 //	crashN@T[+R]          same for executor N
 //	flaky[:RATE]          transient task I/O faults (default rate 0.05)
 //	fetch[:RATE]          transient shuffle-fetch failures (default 0.1)
+//	slow:N@TxF            executor N's disk and CPU degrade to 1/F of their
+//	                      nominal rate from T onward (gray failure)
+//	partition:N@T+D       executor N's network drops (heartbeats and shuffle
+//	                      fetches) for the window [T, T+D); running tasks
+//	                      keep computing
+//	corrupt[:RATE]        each DFS block replica is bit-rotten with the
+//	                      given probability (default 0.01); reads fail the
+//	                      CRC32 check until failover
 //	mayhem@T              crash-restart of executor 1 mid-horizon T plus
 //	                      low-rate task and fetch faults
 //	seed:N                hash seed (default 1)
 //
-// Example: "crash1@2m+30s,flaky:0.02,seed:7". Parse returns nil for the
-// quiet plan.
+// Example: "crash1@2m+30s,flaky:0.02,seed:7" or
+// "slow:1@60sx4,partition:2@90s+45s,corrupt:0.02". Parse returns nil for
+// the quiet plan.
 func Parse(spec string) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" || spec == "quiet" || spec == "none" {
@@ -225,6 +370,24 @@ func Parse(spec string) (*Plan, error) {
 				return nil, err
 			}
 			p.Crashes = append(p.Crashes, c)
+		case strings.HasPrefix(clause, "slow"):
+			s, err := parseSlow(clause)
+			if err != nil {
+				return nil, err
+			}
+			p.Slows = append(p.Slows, s)
+		case strings.HasPrefix(clause, "partition"):
+			w, err := parsePartition(clause)
+			if err != nil {
+				return nil, err
+			}
+			p.Partitions = append(p.Partitions, w)
+		case strings.HasPrefix(clause, "corrupt"):
+			rate, err := parseRate(clause, "corrupt", 0.01)
+			if err != nil {
+				return nil, err
+			}
+			p.CorruptRate = rate
 		case strings.HasPrefix(clause, "flaky"):
 			rate, err := parseRate(clause, "flaky", 0.05)
 			if err != nil {
@@ -289,6 +452,80 @@ func parseCrash(clause string) (Crash, error) {
 	}
 	c.At = d
 	return c, nil
+}
+
+// parseSlow parses "slow[:N]@TxF" (executor defaults to 1, factor to 2).
+func parseSlow(clause string) (Slow, error) {
+	rest := strings.TrimPrefix(clause, "slow")
+	rest = strings.TrimPrefix(rest, ":")
+	at := strings.IndexByte(rest, '@')
+	if at < 0 {
+		return Slow{}, fmt.Errorf("chaos: clause %q: want slow:N@TxF", clause)
+	}
+	s := Slow{Exec: 1, Factor: 2}
+	if at > 0 {
+		n, err := strconv.Atoi(rest[:at])
+		if err != nil {
+			return Slow{}, fmt.Errorf("chaos: clause %q: bad executor: %w", clause, err)
+		}
+		s.Exec = n
+	}
+	times := rest[at+1:]
+	if x := strings.IndexByte(times, 'x'); x >= 0 {
+		f, err := strconv.ParseFloat(times[x+1:], 64)
+		if err != nil {
+			return Slow{}, fmt.Errorf("chaos: clause %q: bad factor: %w", clause, err)
+		}
+		if f <= 0 {
+			return Slow{}, fmt.Errorf("chaos: clause %q: factor must be positive", clause)
+		}
+		s.Factor = f
+		times = times[:x]
+	}
+	d, err := time.ParseDuration(times)
+	if err != nil {
+		return Slow{}, fmt.Errorf("chaos: clause %q: bad time: %w", clause, err)
+	}
+	s.At = d
+	return s, nil
+}
+
+// parsePartition parses "partition[:N]@T+D" (executor defaults to 1; the
+// window duration D is required — a permanent partition is spelled crash).
+func parsePartition(clause string) (Partition, error) {
+	rest := strings.TrimPrefix(clause, "partition")
+	rest = strings.TrimPrefix(rest, ":")
+	at := strings.IndexByte(rest, '@')
+	if at < 0 {
+		return Partition{}, fmt.Errorf("chaos: clause %q: want partition:N@T+D", clause)
+	}
+	w := Partition{Exec: 1}
+	if at > 0 {
+		n, err := strconv.Atoi(rest[:at])
+		if err != nil {
+			return Partition{}, fmt.Errorf("chaos: clause %q: bad executor: %w", clause, err)
+		}
+		w.Exec = n
+	}
+	times := rest[at+1:]
+	plus := strings.IndexByte(times, '+')
+	if plus < 0 {
+		return Partition{}, fmt.Errorf("chaos: clause %q: want partition:N@T+D", clause)
+	}
+	dur, err := time.ParseDuration(times[plus+1:])
+	if err != nil {
+		return Partition{}, fmt.Errorf("chaos: clause %q: bad duration: %w", clause, err)
+	}
+	if dur <= 0 {
+		return Partition{}, fmt.Errorf("chaos: clause %q: duration must be positive", clause)
+	}
+	w.Duration = dur
+	d, err := time.ParseDuration(times[:plus])
+	if err != nil {
+		return Partition{}, fmt.Errorf("chaos: clause %q: bad start time: %w", clause, err)
+	}
+	w.At = d
+	return w, nil
 }
 
 // parseRate parses "name" or "name:RATE".

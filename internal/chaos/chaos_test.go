@@ -178,3 +178,114 @@ func TestSortedCrashes(t *testing.T) {
 		t.Fatalf("sorted = %+v", got)
 	}
 }
+
+func TestParseGrayClauses(t *testing.T) {
+	p, err := Parse("slow:1@60sx4,partition:2@90s+45s,corrupt:0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Slows) != 1 || p.Slows[0] != (Slow{Exec: 1, At: time.Minute, Factor: 4}) {
+		t.Fatalf("slows = %+v", p.Slows)
+	}
+	if len(p.Partitions) != 1 ||
+		p.Partitions[0] != (Partition{Exec: 2, At: 90 * time.Second, Duration: 45 * time.Second}) {
+		t.Fatalf("partitions = %+v", p.Partitions)
+	}
+	if p.CorruptRate != 0.02 {
+		t.Fatalf("corrupt rate = %g", p.CorruptRate)
+	}
+
+	// Defaults: executor 1, factor 2, corrupt rate 0.01.
+	p, err = Parse("slow@10s,corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slows[0] != (Slow{Exec: 1, At: 10 * time.Second, Factor: 2}) {
+		t.Fatalf("default slow = %+v", p.Slows[0])
+	}
+	if p.CorruptRate != 0.01 {
+		t.Fatalf("default corrupt rate = %g", p.CorruptRate)
+	}
+
+	for _, bad := range []string{
+		"slow", "slow@", "slow:x@10s", "slow@10sx0", "slow@10sx-1",
+		"partition@10s", "partition:1@10s", "partition@10s+0s", "partition@10s+x",
+		"corrupt:2", "corrupt:x",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPartitionedWindows(t *testing.T) {
+	p := &Plan{Partitions: []Partition{{Exec: 1, At: 10 * time.Second, Duration: 5 * time.Second}}}
+	cases := []struct {
+		exec int
+		at   time.Duration
+		want bool
+	}{
+		{1, 9 * time.Second, false},
+		{1, 10 * time.Second, true}, // window start inclusive
+		{1, 14 * time.Second, true},
+		{1, 15 * time.Second, false}, // window end exclusive
+		{2, 12 * time.Second, false}, // other executor
+	}
+	for _, c := range cases {
+		if got := p.Partitioned(c.exec, c.at); got != c.want {
+			t.Errorf("Partitioned(%d, %v) = %v, want %v", c.exec, c.at, got, c.want)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.Partitioned(1, time.Second) {
+		t.Error("nil plan reported a partition")
+	}
+}
+
+// FuzzParsePlan fuzzes the chaos spec parser: Parse must never panic, and
+// accepted specs must describe internally consistent plans that re-parse
+// identically (the spec string is the plan's name).
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"", "quiet", "none",
+		"crash@90s", "crash2@2m+30s", "mayhem@100s",
+		"flaky", "flaky:0.02", "fetch:0.04", "seed:7",
+		"slow:1@60sx4", "slow@10s", "partition:2@90s+45s", "corrupt:0.02", "corrupt",
+		"crash@1m+10s,flaky:0.02,fetch:0.04,seed:7",
+		"slow:1@60sx4,partition:2@90s+45s,corrupt:0.02",
+		"crash", "slow@10sx0", "partition@10s", "corrupt:2", "bogus", "seed:x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			return // quiet
+		}
+		for _, s := range p.Slows {
+			if s.Factor <= 0 {
+				t.Fatalf("Parse(%q) accepted non-positive slow factor %g", spec, s.Factor)
+			}
+		}
+		for _, w := range p.Partitions {
+			if w.Duration <= 0 {
+				t.Fatalf("Parse(%q) accepted non-positive partition duration %v", spec, w.Duration)
+			}
+		}
+		for _, rate := range []float64{p.TaskFaultRate, p.FetchFaultRate, p.CorruptRate} {
+			if rate < 0 || rate > 1 {
+				t.Fatalf("Parse(%q) accepted rate %g outside [0,1]", spec, rate)
+			}
+		}
+		q, err := Parse(p.Name)
+		if err != nil {
+			t.Fatalf("accepted spec %q does not re-parse: %v", spec, err)
+		}
+		if q.String() != p.String() {
+			t.Fatalf("re-parse of %q changed the plan: %q vs %q", spec, q, p)
+		}
+	})
+}

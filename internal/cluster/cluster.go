@@ -131,6 +131,14 @@ type Usage struct {
 // Usage returns the node's cumulative usage integrals.
 func (n *Node) Usage() Usage { return n.meter.snapshot() }
 
+// SetThrottle degrades the node's disk and CPU to 1/factor of their nominal
+// service rates (factor 1 restores nominal). The gray-failure hook: the node
+// stays alive and reachable, it just serves slowly.
+func (n *Node) SetThrottle(factor float64) {
+	n.Disk.SetThrottle(factor)
+	n.CPU.SetThrottle(factor)
+}
+
 // CPUPercent returns the average CPU utilization (0-100) between snapshots.
 func CPUPercent(a, b Usage, vcores int) float64 {
 	w := (b.At - a.At).Seconds()

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Category is a Table 1 parameter group.
@@ -176,6 +177,20 @@ func (r *Registry) GetFloat(key string) (float64, error) {
 		return 0, fmt.Errorf("conf: %s = %q is not a number: %w", key, v, err)
 	}
 	return f, nil
+}
+
+// GetDuration returns the effective value parsed as a Go duration
+// ("10s", "2m"), as Spark time properties.
+func (r *Registry) GetDuration(key string) (time.Duration, error) {
+	v, err := r.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("conf: %s = %q is not a duration: %w", key, v, err)
+	}
+	return d, nil
 }
 
 // GetBytes returns the effective value parsed as a byte size with an

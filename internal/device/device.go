@@ -186,6 +186,16 @@ func (d *Disk) Write(p *sim.Proc, bytes int64) {
 	d.server.Serve(p, float64(bytes), d.spec.WriteWeight)
 }
 
+// SetThrottle degrades the disk to 1/factor of its nominal service rate
+// (factor 1 restores nominal). In-flight I/O is re-planned from the current
+// instant — the gray-failure hook for a degrading drive.
+func (d *Disk) SetThrottle(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("device %s: non-positive throttle factor %v", d.spec.Name, factor))
+	}
+	d.server.SetRateScale(1 / factor)
+}
+
 // Counters returns cumulative raw bytes read and written.
 func (d *Disk) Counters() (read, written int64) { return d.bytesRead, d.bytesWritten }
 
@@ -294,6 +304,16 @@ func (c *CPU) Compute(p *sim.Proc, seconds float64) {
 		return
 	}
 	c.server.Serve(p, seconds, 1)
+}
+
+// SetThrottle degrades the CPU to 1/factor of its nominal capacity (factor 1
+// restores nominal) — thermal throttling or a noisy neighbour stealing
+// cycles. Runnable threads are re-planned from the current instant.
+func (c *CPU) SetThrottle(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("device cpu: non-positive throttle factor %v", factor))
+	}
+	c.server.SetRateScale(1 / factor)
 }
 
 // Snapshot returns the underlying server statistics; ActiveIntegral is busy

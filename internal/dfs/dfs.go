@@ -7,6 +7,7 @@ package dfs
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"sae/internal/cluster"
@@ -21,6 +22,33 @@ type FS struct {
 	cluster   *cluster.Cluster
 	blockSize int64
 	files     map[string]*File
+	fault     FaultModel
+}
+
+// FaultModel lets the engine inject gray failures into block reads without
+// the file system knowing anything about chaos plans. Both hooks may be nil
+// (no faults). They must be pure functions of their arguments for the run to
+// stay deterministic.
+type FaultModel struct {
+	// Unreachable reports whether a node cannot serve remote reads right
+	// now (dead, or network-partitioned).
+	Unreachable func(node int) bool
+	// Rotten reports whether the replica of the block with checksum sum
+	// stored on node is bit-rotten: its data will fail verification. Rot
+	// is permanent per (block, node) — re-reads fail identically.
+	Rotten func(sum uint32, node int) bool
+}
+
+// SetFaultModel installs the gray-failure hooks consulted by replica
+// selection and checksum verification.
+func (fs *FS) SetFaultModel(m FaultModel) { fs.fault = m }
+
+func (fs *FS) unreachable(node int) bool {
+	return fs.fault.Unreachable != nil && fs.fault.Unreachable(node)
+}
+
+func (fs *FS) rotten(sum uint32, node int) bool {
+	return fs.fault.Rotten != nil && fs.fault.Rotten(sum, node)
 }
 
 // New creates an empty file system with the given block size (0 selects
@@ -50,6 +78,18 @@ type Block struct {
 	Index    int
 	Size     int64
 	Replicas []int // node IDs holding a copy
+	// Sum is the block's CRC32 (IEEE) checksum, recorded at creation.
+	// Readers verify the data they fetch against it and fail over to
+	// another replica on mismatch, as HDFS does.
+	Sum uint32
+}
+
+// blockSum derives a block's CRC32 from its identity. Block payloads are not
+// materialized in the simulation, so the checksum covers the metadata that
+// uniquely names the data; what matters for the protocol is that it is a
+// stable per-block value that a rotten replica fails to reproduce.
+func blockSum(name string, index int, size int64) uint32 {
+	return crc32.ChecksumIEEE([]byte(fmt.Sprintf("%s#%d#%d", name, index, size)))
 }
 
 // LocalTo reports whether the block has a replica on node.
@@ -60,6 +100,27 @@ func (b Block) LocalTo(node int) bool {
 		}
 	}
 	return false
+}
+
+// ReplicasByDistance returns the block's replicas ordered by preference for
+// the given reader: a local replica first, then ascending node-ID distance
+// (the flat-topology stand-in for rack locality), ties broken by lower ID.
+func (b Block) ReplicasByDistance(reader int) []int {
+	out := append([]int(nil), b.Replicas...)
+	dist := func(n int) int {
+		if n >= reader {
+			return n - reader
+		}
+		return reader - n
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := dist(out[i]), dist(out[j])
+		if di != dj {
+			return di < dj
+		}
+		return out[i] < out[j]
+	})
+	return out
 }
 
 // Create materializes a file's metadata: size split into blocks, each
@@ -88,7 +149,10 @@ func (fs *FS) Create(name string, size int64, replication int) (*File, error) {
 			replicas = append(replicas, (idx+r)%n)
 		}
 		sort.Ints(replicas)
-		f.Blocks = append(f.Blocks, Block{Index: idx, Size: bs, Replicas: replicas})
+		f.Blocks = append(f.Blocks, Block{
+			Index: idx, Size: bs, Replicas: replicas,
+			Sum: blockSum(name, idx, bs),
+		})
 	}
 	fs.files[name] = f
 	return f, nil
@@ -124,19 +188,55 @@ func (fs *FS) Files() []string {
 	return names
 }
 
-// ReadBlock reads one block from node `reader`, blocking p until the bytes
-// are available. A local replica is served from the node's own disk;
-// otherwise the closest replica's disk is read and the data crosses the
-// network. It reports whether the read was node-local.
-func (fs *FS) ReadBlock(p *sim.Proc, reader int, b Block) (local bool) {
-	if b.LocalTo(reader) {
-		fs.cluster.Node(reader).Disk.Read(p, b.Size)
-		return true
+// PickReplica returns the reader's preferred live replica of b: the nearest
+// replica (local first, then ascending node-ID distance) that is not in the
+// bad set and, for remote replicas, not unreachable under the fault model.
+// A local replica is always tried — its disk needs no network. ok is false
+// when every replica is bad or unreachable.
+func (fs *FS) PickReplica(b Block, reader int, bad map[int]bool) (src int, ok bool) {
+	for _, r := range b.ReplicasByDistance(reader) {
+		if bad[r] {
+			continue
+		}
+		if r != reader && fs.unreachable(r) {
+			continue
+		}
+		return r, true
 	}
-	src := b.Replicas[reader%len(b.Replicas)]
-	fs.cluster.Node(src).Disk.Read(p, b.Size)
-	fs.cluster.Transfer(p, src, reader, b.Size)
-	return false
+	return -1, false
+}
+
+// ReadSum returns the checksum the replica on node actually serves for b:
+// the block's recorded Sum, or a corrupted value if the replica is rotten.
+// Callers compare against b.Sum to detect corruption.
+func (fs *FS) ReadSum(b Block, node int) uint32 {
+	if fs.rotten(b.Sum, node) {
+		return b.Sum ^ 0xdeadbeef
+	}
+	return b.Sum
+}
+
+// ReadBlock reads one block from node `reader`, blocking p until verified
+// bytes are available. It tries replicas nearest-first (local replica, then
+// ascending node-ID distance), skipping unreachable nodes; each attempt
+// charges the source disk (and the network, for remote replicas) before the
+// checksum is verified, so corrupted reads cost real I/O, exactly as in
+// HDFS. It reports whether the winning read was node-local, and fails only
+// when every replica is unreachable or rotten.
+func (fs *FS) ReadBlock(p *sim.Proc, reader int, b Block) (local bool, err error) {
+	bad := make(map[int]bool, len(b.Replicas))
+	for {
+		src, ok := fs.PickReplica(b, reader, bad)
+		if !ok {
+			return false, fmt.Errorf("dfs: block %d: all %d replicas unreachable or corrupt", b.Index, len(b.Replicas))
+		}
+		fs.cluster.Node(src).Disk.Read(p, b.Size)
+		fs.cluster.Transfer(p, src, reader, b.Size)
+		if fs.ReadSum(b, src) == b.Sum {
+			return src == reader, nil
+		}
+		bad[src] = true
+	}
 }
 
 // Write appends bytes to (or creates) an output file from node writer,
@@ -154,7 +254,10 @@ func (fs *FS) Write(p *sim.Proc, writer int, name string, bytes int64) {
 		fs.files[name] = f
 	}
 	fs.cluster.Node(writer).Disk.Write(p, bytes)
-	f.Blocks = append(f.Blocks, Block{Index: len(f.Blocks), Size: bytes, Replicas: []int{writer}})
+	f.Blocks = append(f.Blocks, Block{
+		Index: len(f.Blocks), Size: bytes, Replicas: []int{writer},
+		Sum: blockSum(name, len(f.Blocks), bytes),
+	})
 	f.Size += bytes
 }
 

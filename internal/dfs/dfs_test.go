@@ -76,9 +76,9 @@ func TestReadBlockLocalVsRemote(t *testing.T) {
 	f, _ := fs.Create("in", 2*device.MiB, 1) // replication 1
 	var local0, local1 bool
 	k.Go("r", func(p *sim.Proc) {
-		local0 = fs.ReadBlock(p, f.Blocks[0].Replicas[0], f.Blocks[0])
+		local0, _ = fs.ReadBlock(p, f.Blocks[0].Replicas[0], f.Blocks[0])
 		other := (f.Blocks[0].Replicas[0] + 1) % 4
-		local1 = fs.ReadBlock(p, other, f.Blocks[0])
+		local1, _ = fs.ReadBlock(p, other, f.Blocks[0])
 	})
 	k.Run()
 	if !local0 {
@@ -104,6 +104,112 @@ func TestRemoteReadChargesNetwork(t *testing.T) {
 	r, _ := c.Node(src).Disk.Counters()
 	if r != device.MiB {
 		t.Fatalf("source disk read %d", r)
+	}
+}
+
+func TestReplicasByDistancePrefersLocalThenClosest(t *testing.T) {
+	b := Block{Replicas: []int{0, 2, 5}}
+	got := b.ReplicasByDistance(2)
+	if got[0] != 2 || got[1] != 0 || got[2] != 5 {
+		t.Fatalf("order from node 2 = %v, want [2 0 5]", got)
+	}
+	got = b.ReplicasByDistance(4)
+	if got[0] != 5 || got[1] != 2 || got[2] != 0 {
+		t.Fatalf("order from node 4 = %v, want [5 2 0]", got)
+	}
+	// Equidistant replicas break ties by lower ID.
+	got = Block{Replicas: []int{3, 1}}.ReplicasByDistance(2)
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("tie order = %v, want [1 3]", got)
+	}
+}
+
+func TestReadBlockSkipsUnreachableReplica(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k, 4)
+	fs := New(c, device.MiB)
+	f, _ := fs.Create("in", device.MiB, 2)
+	b := f.Blocks[0]
+	reader := 3 // no local replica: block 0 lives on nodes 0 and 1
+	if b.LocalTo(reader) {
+		t.Fatal("test setup: reader should be remote")
+	}
+	near := b.ReplicasByDistance(reader)[0]
+	fs.SetFaultModel(FaultModel{Unreachable: func(n int) bool { return n == near }})
+	var local bool
+	var err error
+	k.Go("r", func(p *sim.Proc) { local, err = fs.ReadBlock(p, reader, b) })
+	k.Run()
+	if err != nil || local {
+		t.Fatalf("local=%v err=%v", local, err)
+	}
+	far := b.ReplicasByDistance(reader)[1]
+	if r, _ := c.Node(far).Disk.Counters(); r != b.Size {
+		t.Fatalf("fallback replica read %d bytes, want %d", r, b.Size)
+	}
+	if r, _ := c.Node(near).Disk.Counters(); r != 0 {
+		t.Fatalf("unreachable replica served %d bytes", r)
+	}
+}
+
+func TestReadBlockChecksumFailover(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k, 3)
+	fs := New(c, device.MiB)
+	f, _ := fs.Create("in", device.MiB, 3)
+	b := f.Blocks[0]
+	// The local replica is rotten: the read must charge the wasted local
+	// I/O, then fail over to the next-closest replica.
+	fs.SetFaultModel(FaultModel{Rotten: func(sum uint32, n int) bool { return n == 0 }})
+	var local bool
+	var err error
+	k.Go("r", func(p *sim.Proc) { local, err = fs.ReadBlock(p, 0, b) })
+	k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local {
+		t.Fatal("rotten local replica still counted as local read")
+	}
+	if r, _ := c.Node(0).Disk.Counters(); r != b.Size {
+		t.Fatalf("rotten replica charged %d bytes, want %d", r, b.Size)
+	}
+	if r, _ := c.Node(1).Disk.Counters(); r != b.Size {
+		t.Fatalf("failover replica read %d bytes, want %d", r, b.Size)
+	}
+}
+
+func TestReadBlockAllReplicasRottenFails(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k, 2)
+	fs := New(c, device.MiB)
+	f, _ := fs.Create("in", device.MiB, 2)
+	fs.SetFaultModel(FaultModel{Rotten: func(uint32, int) bool { return true }})
+	var err error
+	k.Go("r", func(p *sim.Proc) { _, err = fs.ReadBlock(p, 0, f.Blocks[0]) })
+	k.Run()
+	if err == nil {
+		t.Fatal("read of fully-rotten block succeeded")
+	}
+}
+
+func TestBlockSumsStableAndDistinct(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(testCluster(k, 2), 100)
+	f, _ := fs.Create("in", 250, 1)
+	k2 := sim.NewKernel()
+	fs2 := New(testCluster(k2, 2), 100)
+	f2, _ := fs2.Create("in", 250, 1)
+	for i := range f.Blocks {
+		if f.Blocks[i].Sum == 0 {
+			t.Fatalf("block %d has zero checksum", i)
+		}
+		if f.Blocks[i].Sum != f2.Blocks[i].Sum {
+			t.Fatalf("block %d checksum not deterministic", i)
+		}
+	}
+	if f.Blocks[0].Sum == f.Blocks[1].Sum {
+		t.Fatal("distinct blocks share a checksum")
 	}
 }
 

@@ -66,6 +66,24 @@ func ApplyConfig(opts *Options, reg *conf.Registry) error {
 	} else {
 		opts.BlacklistAfter = streak
 	}
+	if opts.HeartbeatInterval, err = reg.GetDuration("executor.heartbeatInterval"); err != nil {
+		return err
+	}
+	if opts.HeartbeatInterval <= 0 {
+		return fmt.Errorf("engine: executor.heartbeatInterval must be positive, got %v", opts.HeartbeatInterval)
+	}
+	retries, err := reg.GetInt("shuffle.io.maxRetries")
+	if err != nil {
+		return err
+	}
+	if retries <= 0 {
+		opts.FetchMaxRetries = -1 // disabled
+	} else {
+		opts.FetchMaxRetries = retries
+	}
+	if opts.FetchRetryWait, err = reg.GetDuration("shuffle.io.retryWait"); err != nil {
+		return err
+	}
 	return nil
 }
 

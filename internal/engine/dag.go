@@ -43,6 +43,15 @@ type jobState struct {
 	resubmissions int
 	requeues      int
 
+	// Gray-failure counters: executors suspected by the heartbeat detector
+	// while the job ran, false-positive incarnations fenced, bounded
+	// shuffle-fetch retries and DFS checksum-mismatch replica failovers
+	// summed from the job's task attempts.
+	suspected         int
+	fenced            int
+	fetchRetries      int
+	checksumFailovers int
+
 	// Task-attributed I/O totals: summed from TaskMetrics of every
 	// attempt reported while the job ran, so concurrent jobs never
 	// double-count each other's device traffic (unlike cluster-global
@@ -283,6 +292,10 @@ func (e *Engine) finishJob(js *jobState) {
 		LostExecutors:     js.lostExecs,
 		ResubmittedStages: js.resubmissions,
 		RecoveredBytes:    e.shuffle.recoveredBytes(js.id),
+		Suspected:         js.suspected,
+		Fenced:            js.fenced,
+		FetchRetries:      js.fetchRetries,
+		ChecksumFailovers: js.checksumFailovers,
 	}
 	for _, ex := range e.executors {
 		report.Decisions = append(report.Decisions, ex.jobDecisions(js.id))

@@ -63,9 +63,27 @@ type Options struct {
 	SpeculationQuantile   float64 // 0 selects 0.75
 	SpeculationMultiplier float64 // 0 selects 1.5
 	// Faults, if set, is a deterministic chaos schedule: executor crashes
-	// (optionally with restart), transient task I/O faults and shuffle
-	// fetch failures, all driven off the sim clock (see package chaos).
+	// (optionally with restart), transient task I/O faults, shuffle fetch
+	// failures, node slowdowns, network partitions and replica corruption,
+	// all driven off the sim clock (see package chaos).
 	Faults *chaos.Plan
+	// HeartbeatInterval is how often each executor beats to the driver
+	// (0 selects 10s; Spark's spark.executor.heartbeatInterval).
+	HeartbeatInterval time.Duration
+	// HeartbeatMissedBeats is how many silent intervals before the driver
+	// suspects an executor and stops assigning it work (0 selects 3).
+	HeartbeatMissedBeats int
+	// HeartbeatTimeout is how long without a beat before a suspected
+	// executor is declared lost (0 selects 2× the suspicion delay; values
+	// at or below the suspicion delay are raised just past it).
+	HeartbeatTimeout time.Duration
+	// FetchMaxRetries bounds transient shuffle-fetch retries per attempt
+	// before the failure surfaces (0 selects 3, negative disables retries;
+	// Spark's spark.shuffle.io.maxRetries).
+	FetchMaxRetries int
+	// FetchRetryWait is the base backoff between fetch retries, doubled
+	// each retry (0 selects 5s; Spark's spark.shuffle.io.retryWait).
+	FetchRetryWait time.Duration
 	// Inputs are created in the DFS before the first job starts.
 	Inputs []Input
 	// OnSetup, if set, runs after the engine is assembled and before the
@@ -148,6 +166,26 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.SpeculationMultiplier <= 1 {
 		opts.SpeculationMultiplier = 1.5
 	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = 10 * time.Second
+	}
+	if opts.HeartbeatMissedBeats <= 0 {
+		opts.HeartbeatMissedBeats = 3
+	}
+	suspectAfter := time.Duration(opts.HeartbeatMissedBeats) * opts.HeartbeatInterval
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 2 * suspectAfter
+	} else if opts.HeartbeatTimeout <= suspectAfter {
+		opts.HeartbeatTimeout = suspectAfter + opts.HeartbeatInterval
+	}
+	if opts.FetchMaxRetries == 0 {
+		opts.FetchMaxRetries = 3
+	} else if opts.FetchMaxRetries < 0 {
+		opts.FetchMaxRetries = 0 // disabled
+	}
+	if opts.FetchRetryWait <= 0 {
+		opts.FetchRetryWait = 5 * time.Second
+	}
 
 	k := sim.NewKernel()
 	e := &Engine{
@@ -171,10 +209,51 @@ func NewEngine(opts Options) (*Engine, error) {
 		e.executors = append(e.executors, ex)
 		k.Go(fmt.Sprintf("executor-%d", i), ex.main)
 	}
+	// Executors and DFS datanodes are co-located 1:1, so a node's replicas
+	// are unreachable exactly when its executor process is dead or the node
+	// is inside a partition window, and replica rot follows the chaos
+	// plan's corruption rolls.
+	e.fs.SetFaultModel(dfs.FaultModel{
+		Unreachable: func(node int) bool {
+			return !e.executors[node].alive || e.partitionedNow(node)
+		},
+		Rotten: func(sum uint32, node int) bool {
+			return e.opts.Faults.CorruptReplica(sum, node)
+		},
+	})
+	// Each executor beats to the driver on the heartbeat interval; beats
+	// from dead or partitioned executors are dropped at the source.
+	for i, ex := range e.executors {
+		i, ex := i, ex
+		k.Go(fmt.Sprintf("heartbeat-%d", i), func(p *sim.Proc) {
+			for !e.done {
+				p.Sleep(e.opts.HeartbeatInterval)
+				if e.done || !ex.alive || e.partitionedNow(i) {
+					continue
+				}
+				e.toDriver.Send(e.cluster.ControlLatency(), driverMsg{heartbeat: &heartbeatMsg{
+					exec:      i,
+					epoch:     ex.epoch,
+					running:   ex.running,
+					limit:     ex.limit,
+					tasksDone: ex.totalTasks,
+				}})
+			}
+		})
+	}
+	for i := range e.executors {
+		e.em.armDetector(i)
+	}
 	if !opts.Faults.Empty() {
 		e.scheduleFaults(opts.Faults)
 	}
 	return e, nil
+}
+
+// partitionedNow reports whether exec's node is inside a chaos partition
+// window at the current virtual time.
+func (e *Engine) partitionedNow(exec int) bool {
+	return e.opts.Faults.Partitioned(exec, e.k.Now())
 }
 
 // Submit registers spec to start at time zero. It must be called before
@@ -227,6 +306,8 @@ func (e *Engine) Wait() error {
 				e.sched.handleExecLost(msg.execLost)
 			case msg.execJoin != nil:
 				e.sched.handleExecJoin(msg.execJoin)
+			case msg.heartbeat != nil:
+				e.sched.handleHeartbeat(msg.heartbeat)
 			}
 		}
 		e.done = true

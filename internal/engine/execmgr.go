@@ -1,6 +1,11 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"sae/internal/sim"
+)
 
 // execManager owns the driver-side view of the executor fleet: the slot
 // table (limit − inflight per executor, following the executors'
@@ -33,6 +38,21 @@ type execManager struct {
 	// blacklistAfter is the consecutive-failure threshold (Spark's
 	// spark.blacklist analogue; 0 disables blacklisting).
 	blacklistAfter int
+
+	// Failure-detector state. The driver learns of executor loss only from
+	// heartbeat silence: lastBeat records each executor's most recent
+	// accepted beat; suspected marks executors whose beats stopped
+	// suspectAfter ago (no new work until a beat clears it); fencing marks
+	// declared-lost executors that turned out to be alive and were ordered
+	// to adopt a fresh epoch. suspectEv/lostEv are the armed timers.
+	lastBeat  []time.Duration
+	suspected []bool
+	fencing   []bool
+	suspectEv []*sim.Event
+	lostEv    []*sim.Event
+	// lastProgress mirrors the latest beat's task-progress payload, for
+	// introspection and debugging.
+	lastProgress []int
 }
 
 func newExecManager(eng *Engine, n, blacklistAfter int) *execManager {
@@ -46,6 +66,12 @@ func newExecManager(eng *Engine, n, blacklistAfter int) *execManager {
 		alive:          make([]bool, n),
 		blacklisted:    make([]bool, n),
 		blacklistAfter: blacklistAfter,
+		lastBeat:       make([]time.Duration, n),
+		suspected:      make([]bool, n),
+		fencing:        make([]bool, n),
+		suspectEv:      make([]*sim.Event, n),
+		lostEv:         make([]*sim.Event, n),
+		lastProgress:   make([]int, n),
 	}
 	for i := range m.alive {
 		m.alive[i] = true
@@ -54,8 +80,79 @@ func newExecManager(eng *Engine, n, blacklistAfter int) *execManager {
 	return m
 }
 
+// suspectAfter is how long without a beat before an executor is suspected.
+func (m *execManager) suspectAfter() time.Duration {
+	o := &m.eng.opts
+	return time.Duration(o.HeartbeatMissedBeats) * o.HeartbeatInterval
+}
+
+// armDetector (re)starts the failure-detector timer for executor i from the
+// current instant, as if a beat had just been accepted.
+func (m *execManager) armDetector(i int) {
+	m.cancelTimers(i)
+	m.lastBeat[i] = m.eng.k.Now()
+	m.suspectEv[i] = m.eng.k.After(m.suspectAfter(), func() { m.onSuspect(i) })
+}
+
+func (m *execManager) cancelTimers(i int) {
+	if m.suspectEv[i] != nil {
+		m.suspectEv[i].Cancel()
+		m.suspectEv[i] = nil
+	}
+	if m.lostEv[i] != nil {
+		m.lostEv[i].Cancel()
+		m.lostEv[i] = nil
+	}
+}
+
+// noteBeat accepts a heartbeat from a live executor: record progress, clear
+// any standing suspicion (the slow node caught up) and re-arm the timer.
+func (m *execManager) noteBeat(b *heartbeatMsg) {
+	i := b.exec
+	m.lastProgress[i] = b.tasksDone
+	if m.suspected[i] {
+		m.suspected[i] = false
+		m.eng.trace(TraceEvent{Type: TraceExecSuspect, Job: -1, Stage: -1, Task: -1, Exec: i,
+			Detail: "cleared by heartbeat"})
+		m.eng.sched.assign(i)
+	}
+	m.armDetector(i)
+}
+
+// onSuspect fires when suspectAfter passes with no beat: the executor stops
+// receiving new work, and the loss timer starts. Runs in event context.
+func (m *execManager) onSuspect(i int) {
+	m.suspectEv[i] = nil
+	if m.eng.done || !m.alive[i] {
+		return
+	}
+	m.suspected[i] = true
+	m.eng.trace(TraceEvent{Type: TraceExecSuspect, Job: -1, Stage: -1, Task: -1, Exec: i,
+		Detail: fmt.Sprintf("no heartbeat for %s", m.eng.k.Now()-m.lastBeat[i])})
+	for _, js := range m.eng.jobs {
+		if js.started && !js.done {
+			js.suspected++
+		}
+	}
+	wait := m.eng.opts.HeartbeatTimeout - m.suspectAfter()
+	m.lostEv[i] = m.eng.k.After(wait, func() { m.onLost(i) })
+}
+
+// onLost fires at the heartbeat timeout: declare the incarnation lost. The
+// declaration goes through the driver mailbox so every scheduler mutation
+// happens in the driver loop, in deterministic message order.
+func (m *execManager) onLost(i int) {
+	m.lostEv[i] = nil
+	if m.eng.done || !m.alive[i] {
+		return
+	}
+	m.eng.toDriver.Send(0, driverMsg{execLost: &execLostMsg{exec: i, epoch: m.epochs[i]}})
+}
+
 // assignable reports whether executor i may receive new tasks.
-func (m *execManager) assignable(i int) bool { return m.alive[i] && !m.blacklisted[i] }
+func (m *execManager) assignable(i int) bool {
+	return m.alive[i] && !m.blacklisted[i] && !m.suspected[i]
+}
 
 // anyAssignable reports whether any executor can still receive tasks.
 func (m *execManager) anyAssignable() bool {
@@ -124,12 +221,19 @@ func (m *execManager) markLost(exec, epoch int) {
 	m.inflightJob[exec] = make(map[int]int)
 	m.failStreak[exec] = 0
 	m.blacklisted[exec] = false
+	m.suspected[exec] = false
+	m.fencing[exec] = false
+	m.cancelTimers(exec)
 }
 
-// markJoined re-admits a restarted executor with a clean record.
+// markJoined re-admits a restarted (or fenced-and-rejoined) executor with a
+// clean record and a freshly armed failure detector.
 func (m *execManager) markJoined(exec, epoch int) {
 	m.alive[exec] = true
 	m.epochs[exec] = epoch
 	m.failStreak[exec] = 0
 	m.blacklisted[exec] = false
+	m.suspected[exec] = false
+	m.fencing[exec] = false
+	m.armDetector(exec)
 }

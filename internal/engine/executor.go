@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -73,6 +74,16 @@ type execMsg struct {
 	stageStart *stageStartMsg
 	stageEnd   *stageEndMsg
 	launch     *launchMsg
+	fence      *fenceMsg
+}
+
+// fenceMsg orders a still-alive executor that the driver declared lost (a
+// failure-detector false positive, e.g. after a network partition) to adopt
+// a fresh incarnation epoch. Everything the old incarnation still has in
+// flight becomes a zombie — its completions are never reported — so the
+// driver's requeued copies of those tasks are the only ones that count.
+type fenceMsg struct {
+	epoch int
 }
 
 type stageStartMsg struct {
@@ -105,10 +116,23 @@ type launchMsg struct {
 // driverMsg is an executor→driver message (exactly one field set; the
 // zero value is a wake-up nudge that matches no handler).
 type driverMsg struct {
-	taskDone *taskDoneMsg
-	threads  *threadsMsg
-	execLost *execLostMsg
-	execJoin *execJoinMsg
+	taskDone  *taskDoneMsg
+	threads   *threadsMsg
+	execLost  *execLostMsg
+	execJoin  *execJoinMsg
+	heartbeat *heartbeatMsg
+}
+
+// heartbeatMsg is an executor's periodic liveness beacon, carrying its task
+// progress and pool size (the paper's executors heartbeat through Spark's
+// stock protocol). The driver's failure detector times out on its absence;
+// it never drives scheduling directly, so quiet-plan runs are unperturbed.
+type heartbeatMsg struct {
+	exec      int
+	epoch     int
+	running   int
+	limit     int
+	tasksDone int
 }
 
 type taskDoneMsg struct {
@@ -130,8 +154,9 @@ type threadsMsg struct {
 	threads int
 }
 
-// execLostMsg notifies the driver that an executor crashed (the heartbeat
-// loss signal).
+// execLostMsg declares an executor lost. It is posted by the driver's own
+// failure detector when the executor's heartbeats time out; epoch is the
+// incarnation being declared dead.
 type execLostMsg struct {
 	exec  int
 	epoch int
@@ -256,8 +281,36 @@ func (ex *Executor) main(p *sim.Proc) {
 			} else {
 				ex.queue = append(ex.queue, msg.launch)
 			}
+		case msg.fence != nil:
+			if !ex.alive || msg.fence.epoch <= ex.epoch {
+				continue // a crash got there first, or a duplicate order
+			}
+			ex.fence(msg.fence.epoch)
 		}
 	}
+}
+
+// fence makes a still-alive executor that was declared lost adopt a fresh
+// incarnation: its queue is dropped, its controllers retire, and every task
+// still running becomes a zombie whose completion is never reported — the
+// in-flight work the driver already requeued must not be double-counted.
+// The new incarnation then rejoins through the normal execJoin path.
+func (ex *Executor) fence(epoch int) {
+	ex.epoch = epoch
+	ex.queue = nil
+	for _, key := range ex.activeKeys {
+		ex.decisionsByJob[key.job] = append(ex.decisionsByJob[key.job], ex.ctrls[key].Decisions()...)
+	}
+	ex.ctrls = make(map[setKey]job.Controller)
+	ex.choice = make(map[setKey]int)
+	ex.stages = make(map[setKey]*job.StageSpec)
+	ex.activeKeys = nil
+	ex.threadLog = append(ex.threadLog, ThreadChange{At: ex.eng.k.Now(), Stage: ex.curStage, Threads: 0})
+	ex.eng.trace(TraceEvent{Type: TraceExecFence, Job: -1, Stage: ex.curStage, Task: -1, Exec: ex.id,
+		Detail: fmt.Sprintf("epoch %d fenced, rejoining as %d", epoch-1, epoch)})
+	ex.eng.toDriver.Send(ex.eng.cluster.ControlLatency(), driverMsg{
+		execJoin: &execJoinMsg{exec: ex.id, epoch: ex.epoch},
+	})
 }
 
 // stageStart installs a fresh controller for the (job, stage) and applies

@@ -35,9 +35,9 @@ func (e *fetchFailedError) Error() string {
 	return fmt.Sprintf("fetch failed: map output on node %d was lost", e.node)
 }
 
-// scheduleFaults arms the chaos plan's crash schedule on the sim clock.
-// Crashes and restarts run in event context: they only flip state and post
-// mailbox messages, never park.
+// scheduleFaults arms the chaos plan's crash, slowdown and partition
+// schedules on the sim clock. All handlers run in event context: they only
+// flip state and post mailbox messages, never park.
 func (e *Engine) scheduleFaults(plan *chaos.Plan) {
 	for _, c := range plan.SortedCrashes() {
 		if c.Exec < 0 || c.Exec >= len(e.executors) {
@@ -49,11 +49,51 @@ func (e *Engine) scheduleFaults(plan *chaos.Plan) {
 			e.k.At(c.At+c.RestartAfter, func() { e.restartExecutor(c.Exec) })
 		}
 	}
+	for _, s := range plan.SortedSlows() {
+		if s.Exec < 0 || s.Exec >= len(e.executors) {
+			continue
+		}
+		s := s
+		e.k.At(s.At, func() {
+			if e.done {
+				return
+			}
+			node := e.executors[s.Exec].node
+			node.SetThrottle(s.Factor)
+			e.trace(TraceEvent{Type: TraceExecSlow, Job: -1, Stage: -1, Task: -1, Exec: s.Exec,
+				Detail: fmt.Sprintf("devices throttled %gx", s.Factor)})
+		})
+	}
+	// Partitions take effect through pure-function lookups of the plan
+	// (Partitioned at heartbeat/fetch time); the timers below only mark the
+	// window edges in the trace.
+	for _, pt := range plan.SortedPartitions() {
+		if pt.Exec < 0 || pt.Exec >= len(e.executors) {
+			continue
+		}
+		pt := pt
+		e.k.At(pt.At, func() {
+			if e.done {
+				return
+			}
+			e.trace(TraceEvent{Type: TracePartition, Job: -1, Stage: -1, Task: -1, Exec: pt.Exec,
+				Detail: fmt.Sprintf("start, heals after %s", pt.Duration)})
+		})
+		e.k.At(pt.At+pt.Duration, func() {
+			if e.done {
+				return
+			}
+			e.trace(TraceEvent{Type: TracePartition, Job: -1, Stage: -1, Task: -1, Exec: pt.Exec,
+				Detail: "healed"})
+		})
+	}
 }
 
 // crashExecutor kills executor i at the current virtual time: its local
-// queue and shuffle files are gone, running tasks become zombies, and the
-// driver is notified with control-plane latency (loss detection delay).
+// queue and shuffle files are gone and running tasks become zombies. The
+// driver is NOT notified — it has no loss oracle. Its failure detector
+// notices the heartbeat silence, suspects, and declares the executor lost
+// at the heartbeat timeout.
 func (e *Engine) crashExecutor(i int) {
 	if e.done {
 		return
@@ -78,10 +118,7 @@ func (e *Engine) crashExecutor(i int) {
 	// The node's local shuffle files die with the executor process; DFS
 	// blocks survive (the datanode is a separate process).
 	e.shuffle.removeNode(ex.node.ID)
-	e.trace(TraceEvent{Type: TraceExecLost, Job: -1, Stage: ex.curStage, Task: -1, Exec: i, Detail: "crash"})
-	e.toDriver.Send(e.cluster.ControlLatency(), driverMsg{
-		execLost: &execLostMsg{exec: i, epoch: ex.epoch},
-	})
+	e.trace(TraceEvent{Type: TraceExecCrash, Job: -1, Stage: ex.curStage, Task: -1, Exec: i, Detail: "crash"})
 }
 
 // restartExecutor brings executor i back: the driver re-establishes the
@@ -103,10 +140,17 @@ func (e *Engine) restartExecutor(i int) {
 	})
 }
 
-// restartPending reports whether the fault schedule still owes a restart
-// for a currently-dead executor — if so, a fully-dark cluster should wait
-// rather than abort.
+// restartPending reports whether an executor the driver counts as lost is
+// still due back — either the fault schedule owes a restart for a dead
+// process, or the process is in fact alive (a false-positive declaration)
+// and will be fenced back in on its next heartbeat. If so, a fully-dark
+// cluster should wait rather than abort.
 func (e *Engine) restartPending() bool {
+	for i, ex := range e.executors {
+		if !e.em.alive[i] && ex.alive {
+			return true
+		}
+	}
 	plan := e.opts.Faults
 	if plan == nil {
 		return false

@@ -1,0 +1,303 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"sae/internal/chaos"
+	"sae/internal/conf"
+	"sae/internal/core"
+	"sae/internal/engine/job"
+)
+
+// grayOptions tightens the heartbeat protocol so gray-failure scenarios
+// play out within the short test jobs: beats every second, suspicion after
+// two silent beats, loss declared at six seconds of silence.
+func grayOptions(nodes int, policy job.Policy) Options {
+	opts := testOptions(nodes, policy)
+	opts.HeartbeatInterval = time.Second
+	opts.HeartbeatMissedBeats = 2
+	opts.HeartbeatTimeout = 6 * time.Second
+	return opts
+}
+
+// TestHeartbeatFalsePositiveFencesExecutor drives the detector through its
+// false-positive path: executor 1 is partitioned (heartbeats drop, its
+// tasks keep running) for longer than the heartbeat timeout, so the driver
+// suspects it, declares it lost and requeues its work. When the partition
+// heals, the next beat from the declared-lost incarnation must fence it —
+// order it onto a fresh epoch — and re-admit it through the join path, with
+// no task result double-counted and no slot double-released.
+func TestHeartbeatFalsePositiveFencesExecutor(t *testing.T) {
+	quiet := calibrate(t, core.Static{IOThreads: 4})
+	partAt := quiet.Stages[0].End / 4
+
+	run := func() (*JobReport, []byte) {
+		var trace bytes.Buffer
+		spec, inputs := twoStageJob()
+		opts := grayOptions(4, core.Static{IOThreads: 4})
+		opts.Inputs = inputs
+		opts.Trace = &trace
+		opts.Faults = chaos.PartitionAt(1, partAt, 10*time.Second)
+		rep, err := Run(opts, spec)
+		if err != nil {
+			t.Fatalf("job did not survive the partition false positive: %v", err)
+		}
+		return rep, trace.Bytes()
+	}
+	rep, traceA := run()
+
+	if rep.Suspected == 0 {
+		t.Fatal("partition raised no heartbeat suspicion")
+	}
+	if rep.LostExecutors != 1 {
+		t.Fatalf("LostExecutors = %d, want 1 (the false positive)", rep.LostExecutors)
+	}
+	if rep.Fenced != 1 {
+		t.Fatalf("Fenced = %d, want 1", rep.Fenced)
+	}
+	events, err := ReadTrace(bytes.NewReader(traceA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var lostAt, fenceAt float64
+	for _, ev := range events {
+		if ev.Exec != 1 {
+			continue
+		}
+		switch ev.Type {
+		case TraceExecSuspect, TraceExecLost, TraceExecFence, TraceExecCrash:
+			seen[ev.Type] = true
+			if ev.Type == TraceExecLost {
+				lostAt = ev.At
+			}
+			if ev.Type == TraceExecFence {
+				fenceAt = ev.At
+			}
+		}
+	}
+	for _, want := range []string{TraceExecSuspect, TraceExecLost, TraceExecFence} {
+		if !seen[want] {
+			t.Fatalf("trace missing %s for the partitioned executor", want)
+		}
+	}
+	if seen[TraceExecCrash] {
+		t.Fatal("false positive traced as a physical crash")
+	}
+	if fenceAt <= lostAt {
+		t.Fatalf("fence at %v not after loss declaration at %v", fenceAt, lostAt)
+	}
+	// Every task counted exactly once despite the requeue + late results
+	// from the declared-lost incarnation (its reports are dropped by the
+	// aliveness filter, so accepted completions per stage == NumTasks).
+	for _, st := range rep.Stages {
+		var tasks int
+		for _, e := range st.Execs {
+			tasks += e.Tasks
+		}
+		if tasks != 32 {
+			t.Fatalf("stage %d accepted completions = %d, want exactly 32", st.ID, tasks)
+		}
+	}
+
+	// The false-positive path is fully deterministic.
+	rep2, traceB := run()
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatalf("reports differ across identical runs:\nA: %+v\nB: %+v", rep, rep2)
+	}
+	if !bytes.Equal(traceA, traceB) {
+		t.Fatal("trace streams differ across identical runs")
+	}
+}
+
+// TestCrashDetectedByHeartbeatSilence checks that with the oracle gone, a
+// physical crash is still detected — via heartbeat silence — and that
+// detection happens at the configured timeout, not instantly.
+func TestCrashDetectedByHeartbeatSilence(t *testing.T) {
+	quiet := calibrate(t, core.Static{IOThreads: 4})
+	crashAt := quiet.Stages[0].End * 2 / 5
+
+	var trace bytes.Buffer
+	spec, inputs := twoStageJob()
+	opts := grayOptions(4, core.Static{IOThreads: 4})
+	opts.Inputs = inputs
+	opts.Trace = &trace
+	opts.Faults = chaos.CrashAt(1, crashAt)
+	rep, err := Run(opts, spec)
+	if err != nil {
+		t.Fatalf("job did not recover from the crash: %v", err)
+	}
+	if rep.LostExecutors != 1 {
+		t.Fatalf("LostExecutors = %d, want 1", rep.LostExecutors)
+	}
+	events, err := ReadTrace(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashT, lostT float64 = -1, -1
+	for _, ev := range events {
+		if ev.Exec != 1 {
+			continue
+		}
+		if ev.Type == TraceExecCrash && crashT < 0 {
+			crashT = ev.At
+		}
+		if ev.Type == TraceExecLost && lostT < 0 {
+			lostT = ev.At
+		}
+	}
+	if crashT < 0 || lostT < 0 {
+		t.Fatalf("missing crash (%v) or loss (%v) event", crashT, lostT)
+	}
+	// Loss is declared only after the heartbeat timeout elapses — with a
+	// beat accepted up to one interval before the crash, the declaration
+	// lands in (timeout - interval, timeout + slack] after the crash.
+	gap := time.Duration(float64(time.Second) * (lostT - crashT))
+	if gap < opts.HeartbeatTimeout-opts.HeartbeatInterval {
+		t.Fatalf("loss declared %v after crash, before the heartbeat timeout %v could elapse",
+			gap, opts.HeartbeatTimeout)
+	}
+	if gap > opts.HeartbeatTimeout+2*time.Second {
+		t.Fatalf("loss declared %v after crash, long past the heartbeat timeout %v", gap, opts.HeartbeatTimeout)
+	}
+}
+
+// TestChaosMatrixDeterminism runs the new gray-failure chaos modes — node
+// slowdown, network partition, replica corruption, and all three combined —
+// and requires byte-identical reports and traces across repeated runs of
+// each, with the job completing every time.
+func TestChaosMatrixDeterminism(t *testing.T) {
+	quiet := calibrate(t, core.DefaultDynamic())
+	at := quiet.Runtime / 4
+	plans := []*chaos.Plan{
+		chaos.SlowAt(1, at, 4),
+		chaos.PartitionAt(2, at, 10*time.Second),
+		chaos.Corrupt(0.3, 11),
+		{
+			Name:        "graymix",
+			Seed:        11,
+			Slows:       []chaos.Slow{{Exec: 1, At: at, Factor: 4}},
+			Partitions:  []chaos.Partition{{Exec: 2, At: at, Duration: 10 * time.Second}},
+			CorruptRate: 0.3,
+		},
+	}
+	for _, plan := range plans {
+		plan := plan
+		t.Run(plan.Name, func(t *testing.T) {
+			run := func() (*JobReport, []byte) {
+				var trace bytes.Buffer
+				spec, inputs := twoStageJob()
+				opts := grayOptions(4, core.DefaultDynamic())
+				opts.Inputs = inputs
+				opts.Trace = &trace
+				opts.Faults = plan
+				rep, err := Run(opts, spec)
+				if err != nil {
+					t.Fatalf("job failed under %s: %v", plan.Name, err)
+				}
+				return rep, trace.Bytes()
+			}
+			repA, traceA := run()
+			repB, traceB := run()
+			if !reflect.DeepEqual(repA, repB) {
+				t.Fatalf("reports differ across identical %s runs", plan.Name)
+			}
+			if !bytes.Equal(traceA, traceB) {
+				t.Fatalf("traces differ across identical %s runs", plan.Name)
+			}
+			if plan.CorruptRate > 0 && repA.ChecksumFailovers == 0 {
+				t.Fatalf("%s: corruption rate %g produced no checksum failovers", plan.Name, plan.CorruptRate)
+			}
+		})
+	}
+}
+
+// TestFetchRetriesAbsorbTransients checks the wired
+// shuffle.io.maxRetries/retryWait path: with retries enabled, injected
+// transient fetch failures are mostly absorbed by backoff-and-retry instead
+// of surfacing as failed attempts.
+func TestFetchRetriesAbsorbTransients(t *testing.T) {
+	spec, inputs := twoStageJob()
+	opts := testOptions(4, core.Default{})
+	opts.Inputs = inputs
+	opts.Faults = &chaos.Plan{Name: "fetchstorm", Seed: 5, FetchFaultRate: 0.4}
+	rep, err := Run(opts, spec)
+	if err != nil {
+		t.Fatalf("fetch storm aborted the job: %v", err)
+	}
+	if rep.FetchRetries == 0 {
+		t.Fatal("40% fetch-fault rate produced no bounded retries")
+	}
+
+	// The same storm with retries disabled must surface more failed
+	// attempts at the scheduler.
+	specB, inputsB := twoStageJob()
+	optsB := testOptions(4, core.Default{})
+	optsB.Inputs = inputsB
+	optsB.FetchMaxRetries = -1
+	optsB.Faults = &chaos.Plan{Name: "fetchstorm", Seed: 5, FetchFaultRate: 0.4}
+	repB, err := Run(optsB, specB)
+	if err != nil {
+		t.Fatalf("fetch storm without retries aborted the job: %v", err)
+	}
+	if repB.FetchRetries != 0 {
+		t.Fatalf("retries disabled but FetchRetries = %d", repB.FetchRetries)
+	}
+	retries := func(r *JobReport) int {
+		n := 0
+		for _, st := range r.Stages {
+			n += st.Retries
+		}
+		return n
+	}
+	if retries(rep) >= retries(repB) {
+		t.Fatalf("bounded fetch retries did not reduce failed attempts: %d with vs %d without",
+			retries(rep), retries(repB))
+	}
+}
+
+// TestHeartbeatConfigWiring checks executor.heartbeatInterval,
+// shuffle.io.maxRetries and shuffle.io.retryWait flow from the registry
+// into the engine options.
+func TestHeartbeatConfigWiring(t *testing.T) {
+	newTestRegistry := func(t *testing.T, kv map[string]string) *conf.Registry {
+		t.Helper()
+		reg := conf.New()
+		for k, v := range kv {
+			if err := reg.Set(k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return reg
+	}
+	reg := newTestRegistry(t, map[string]string{
+		"executor.heartbeatInterval": "2s",
+		"shuffle.io.maxRetries":      "7",
+		"shuffle.io.retryWait":       "250ms",
+	})
+	var opts Options
+	if err := ApplyConfig(&opts, reg); err != nil {
+		t.Fatal(err)
+	}
+	if opts.HeartbeatInterval != 2*time.Second {
+		t.Fatalf("HeartbeatInterval = %v, want 2s", opts.HeartbeatInterval)
+	}
+	if opts.FetchMaxRetries != 7 {
+		t.Fatalf("FetchMaxRetries = %d, want 7", opts.FetchMaxRetries)
+	}
+	if opts.FetchRetryWait != 250*time.Millisecond {
+		t.Fatalf("FetchRetryWait = %v, want 250ms", opts.FetchRetryWait)
+	}
+
+	reg = newTestRegistry(t, map[string]string{"shuffle.io.maxRetries": "0"})
+	opts = Options{}
+	if err := ApplyConfig(&opts, reg); err != nil {
+		t.Fatal(err)
+	}
+	if opts.FetchMaxRetries != -1 {
+		t.Fatalf("maxRetries=0 should disable retries (-1), got %d", opts.FetchMaxRetries)
+	}
+}

@@ -276,6 +276,12 @@ type TaskMetrics struct {
 	DiskBusyFrac float64
 	// Local reports whether all DFS reads were node-local.
 	Local bool
+	// FetchRetries counts shuffle-fetch attempts that backed off and
+	// retried (transient fetch faults or network partitions).
+	FetchRetries int
+	// ChecksumFailovers counts DFS block reads that failed verification
+	// on one replica and fell back to another.
+	ChecksumFailovers int
 }
 
 // Duration returns the task's wall time.

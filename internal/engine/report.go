@@ -133,6 +133,16 @@ type JobReport struct {
 	ResubmittedStages int
 	RecoveredBytes    int64
 
+	// Gray-failure totals: Suspected counts heartbeat suspicions raised
+	// while the job ran, Fenced counts false-positive incarnations ordered
+	// to re-join under a fresh epoch, FetchRetries the bounded shuffle
+	// fetch retries, and ChecksumFailovers the DFS reads that fell over to
+	// another replica after a checksum mismatch.
+	Suspected         int
+	Fenced            int
+	FetchRetries      int
+	ChecksumFailovers int
+
 	// Decisions holds each executor's controller decision log.
 	Decisions [][]job.Decision
 	// ThreadLogs holds each executor's pool-size change history (Fig. 6).
@@ -170,6 +180,10 @@ func (jr *JobReport) String() string {
 	if jr.LostExecutors > 0 || jr.ResubmittedStages > 0 || jr.RecoveredBytes > 0 {
 		fmt.Fprintf(&b, "  faults: %d executor(s) lost, %d stage(s) resubmitted, %.2f GiB recovered\n",
 			jr.LostExecutors, jr.ResubmittedStages, float64(jr.RecoveredBytes)/(1<<30))
+	}
+	if jr.Suspected > 0 || jr.Fenced > 0 || jr.FetchRetries > 0 || jr.ChecksumFailovers > 0 {
+		fmt.Fprintf(&b, "  gray: %d suspicion(s), %d fenced, %d fetch retries, %d checksum failover(s)\n",
+			jr.Suspected, jr.Fenced, jr.FetchRetries, jr.ChecksumFailovers)
 	}
 	return b.String()
 }

@@ -273,9 +273,13 @@ func (e *Engine) snapshotJob(id int) JobSnapshot {
 func (s *taskScheduler) handleTaskDone(m *taskDoneMsg) {
 	e := s.eng
 	em := e.em
-	if m.epoch != em.epochs[m.exec] {
-		// A stale incarnation's message; its slots were reclaimed when
-		// the loss was detected.
+	if !em.alive[m.exec] || m.epoch != em.epochs[m.exec] {
+		// A stale incarnation's message, or a result from an executor the
+		// failure detector declared lost (possibly a false positive whose
+		// epochs still match — it has not been fenced yet). Either way its
+		// slots were reclaimed at loss detection and its tasks requeued:
+		// accepting the result would double-count it and double-release
+		// the slot.
 		return
 	}
 	em.completed(m.exec, m.job)
@@ -288,6 +292,8 @@ func (s *taskScheduler) handleTaskDone(m *taskDoneMsg) {
 		js.diskReadB += m.metrics.DiskReadBytes
 		js.diskWriteB += m.metrics.DiskWriteBytes
 		js.netB += m.metrics.NetBytes
+		js.fetchRetries += m.metrics.FetchRetries
+		js.checksumFailovers += m.metrics.ChecksumFailovers
 	}
 	ts := s.sets[setKey{job: m.job, stage: m.metrics.Stage}]
 	if ts == nil {
@@ -381,17 +387,31 @@ func (s *taskScheduler) handleThreads(m *threadsMsg) {
 	s.assign(m.exec)
 }
 
-// handleExecLost reacts to a crash: reclaim the executor's slots, requeue
-// its in-flight attempts in every job, un-complete tasks whose registered
-// map output died with the node, and resubmit lost parent outputs other
-// sets depend on.
+// handleExecLost reacts to the failure detector declaring an executor lost
+// (heartbeat timeout). The detector posts through the driver mailbox, so by
+// the time this runs a beat or a crash may have raced ahead of the
+// declaration — the aliveness/epoch guard drops those stale declarations.
 func (s *taskScheduler) handleExecLost(m *execLostMsg) {
-	e := s.eng
-	em := e.em
-	if !em.alive[m.exec] && em.epochs[m.exec] >= m.epoch {
+	em := s.eng.em
+	if !em.alive[m.exec] || m.epoch != em.epochs[m.exec] {
 		return
 	}
-	em.markLost(m.exec, m.epoch)
+	s.processLoss(m.exec, "heartbeat timeout")
+}
+
+// processLoss declares one executor incarnation lost: reclaim its slots,
+// drop its map outputs from the shuffle registry, requeue its in-flight
+// attempts in every job, un-complete tasks whose registered map output died
+// with the node, and resubmit lost parent outputs other sets depend on.
+func (s *taskScheduler) processLoss(exec int, reason string) {
+	e := s.eng
+	em := e.em
+	em.markLost(exec, em.epochs[exec])
+	// Spark-style pessimism: a lost executor's map outputs are unreachable
+	// whether the process died or merely fell silent, so invalidate them at
+	// declaration time.
+	e.shuffle.removeNode(e.executors[exec].node.ID)
+	e.trace(TraceEvent{Type: TraceExecLost, Job: -1, Stage: -1, Task: -1, Exec: exec, Detail: reason})
 	for _, js := range e.jobs {
 		if js.started && !js.done {
 			js.lostExecs++
@@ -402,8 +422,8 @@ func (s *taskScheduler) handleExecLost(m *execLostMsg) {
 	for _, key := range keys {
 		ts := s.sets[key]
 		// Requeue attempts that were running on the dead executor.
-		for _, task := range ts.tasksOn(m.exec) {
-			ts.dropCopy(task, m.exec)
+		for _, task := range ts.tasksOn(exec) {
+			ts.dropCopy(task, exec)
 			if !ts.taskDone[task] && !ts.inFlight(task) && !ts.isPending(task) {
 				ts.pending = append(ts.pending, task)
 				ts.js.requeues++
@@ -435,15 +455,26 @@ func (s *taskScheduler) handleExecLost(m *execLostMsg) {
 	s.assignAll()
 }
 
-// handleExecJoin re-admits a restarted executor: fresh slot count from the
-// policy's initial threads (cmin for the dynamic policy) and the active
-// primary stages re-sent so its fresh per-stage controllers start new hill
-// climbs.
+// handleExecJoin re-admits a restarted (or fenced-and-rejoined) executor:
+// fresh slot count from the policy's initial threads (cmin for the dynamic
+// policy) and the active primary stages re-sent so its fresh per-stage
+// controllers start new hill climbs. A join can arrive while the driver
+// still believes the previous incarnation is alive — the restart raced
+// ahead of the failure detector — in which case the old incarnation is
+// declared lost first, so its in-flight work is requeued rather than
+// black-holed against the new epoch.
 func (s *taskScheduler) handleExecJoin(m *execJoinMsg) {
 	e := s.eng
 	em := e.em
-	if em.alive[m.exec] {
+	if m.epoch <= em.epochs[m.exec] {
+		// Duplicate or stale join announcement.
 		return
+	}
+	if em.alive[m.exec] {
+		s.processLoss(m.exec, "superseded by restarted incarnation")
+		if e.fatal != nil {
+			return
+		}
 	}
 	em.markJoined(m.exec, m.epoch)
 	ex := e.executors[m.exec]
@@ -461,6 +492,37 @@ func (s *taskScheduler) handleExecJoin(m *execJoinMsg) {
 	}
 	em.limits[m.exec] = limit
 	s.assign(m.exec)
+}
+
+// handleHeartbeat feeds one executor beat to the failure detector. A beat
+// from an executor already declared lost is the false-positive signature —
+// the process was slow or partitioned, not dead — and since its tasks were
+// requeued at declaration, the incarnation must be fenced: it is ordered to
+// adopt a fresh epoch (turning its in-flight work into zombies) and rejoin
+// through the normal join path.
+func (s *taskScheduler) handleHeartbeat(m *heartbeatMsg) {
+	e := s.eng
+	em := e.em
+	if em.alive[m.exec] {
+		if m.epoch != em.epochs[m.exec] {
+			return
+		}
+		em.noteBeat(m)
+		return
+	}
+	if m.epoch != em.epochs[m.exec] || em.fencing[m.exec] {
+		// A truly dead incarnation's last gasp, or the fence order is
+		// already in flight.
+		return
+	}
+	em.fencing[m.exec] = true
+	for _, js := range e.jobs {
+		if js.started && !js.done {
+			js.fenced++
+		}
+	}
+	e.executors[m.exec].inbox.Send(e.cluster.ControlLatency(),
+		execMsg{fence: &fenceMsg{epoch: em.epochs[m.exec] + 1}})
 }
 
 // ensureParents resubmits lost map outputs of every upstream stage ts

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"time"
 
 	"sae/internal/dfs"
@@ -50,7 +51,10 @@ type taskContext struct {
 	// input plan
 	blocks   []dfs.Block // remaining DFS blocks (first partially consumed)
 	blockOff int64       // bytes already consumed of blocks[0]
-	segments []segment   // remaining shuffle fetch segments
+	// blockSrc is the verified replica the current block streams from
+	// (-1 = not yet picked for blocks[0]).
+	blockSrc int
+	segments []segment // remaining shuffle fetch segments
 	segOff   int64
 
 	inputTotal int64
@@ -68,6 +72,9 @@ type taskContext struct {
 	netB         int64
 	allLocal     bool
 	computeSpent float64
+	// Gray-failure accounting for the attempt.
+	fetchRetries      int
+	checksumFailovers int
 }
 
 var _ job.TaskContext = (*taskContext)(nil)
@@ -132,23 +139,31 @@ func (tc *taskContext) ReadInput(max int64) int64 {
 			break
 		}
 		b := tc.blocks[0]
+		if tc.blockSrc < 0 {
+			src, err := tc.pickBlockSrc(b)
+			if err != nil {
+				tc.failed = err
+				break
+			}
+			tc.blockSrc = src
+		}
 		n := b.Size - tc.blockOff
 		if budget := max - read; n > budget {
 			n = budget
 		}
-		if b.LocalTo(tc.ex.node.ID) {
+		if tc.blockSrc == tc.ex.node.ID {
 			tc.diskRead(tc.ex.node.ID, n)
 		} else {
 			tc.allLocal = false
-			src := b.Replicas[tc.ex.node.ID%len(b.Replicas)]
-			tc.diskRead(src, n)
-			tc.transfer(src, tc.ex.node.ID, n)
+			tc.diskRead(tc.blockSrc, n)
+			tc.transfer(tc.blockSrc, tc.ex.node.ID, n)
 		}
 		read += n
 		tc.blockOff += n
 		if tc.blockOff >= b.Size {
 			tc.blocks = tc.blocks[1:]
 			tc.blockOff = 0
+			tc.blockSrc = -1
 		}
 		if tc.injectFault(read) {
 			break
@@ -159,15 +174,18 @@ func (tc *taskContext) ReadInput(max int64) int64 {
 			break
 		}
 		s := tc.segments[0]
-		if !tc.eng.shuffle.segmentValid(s) {
-			// The plan predates a node loss: the map output this
-			// segment points at is gone (FetchFailedException).
+		if tc.segOff == 0 {
+			// Opening a segment: the fetch may fail transiently (chaos
+			// injection or a partition window) and is retried with
+			// bounded exponential backoff before surfacing.
+			if err := tc.fetchReady(s); err != nil {
+				tc.failed = err
+				break
+			}
+		} else if !tc.eng.shuffle.segmentValid(s) {
+			// The plan predates a node loss mid-segment: the map output
+			// this segment points at is gone (FetchFailedException).
 			tc.failed = &fetchFailedError{node: s.node}
-			break
-		}
-		if tc.fetchFault {
-			tc.fetchFault = false
-			tc.failed = errInjectedFetch
 			break
 		}
 		n := s.bytes - tc.segOff
@@ -191,6 +209,81 @@ func (tc *taskContext) ReadInput(max int64) int64 {
 	}
 	tc.bytesMoved += read
 	return read
+}
+
+// pickBlockSrc selects the replica the current block will stream from:
+// nearest live replica first (local, then ascending node distance), falling
+// over to the next-closest when a replica's checksum does not verify. A
+// corrupted replica is only discovered after pulling the whole block, so
+// the wasted read (and transfer, for remote replicas) is charged to the
+// devices without counting toward task input. It fails only when every
+// replica is unreachable or corrupt — a permanent error that rides the
+// normal task-failure path.
+func (tc *taskContext) pickBlockSrc(b dfs.Block) (int, error) {
+	e := tc.eng
+	reader := tc.ex.node.ID
+	bad := make(map[int]bool, len(b.Replicas))
+	for {
+		src, ok := e.fs.PickReplica(b, reader, bad)
+		if !ok {
+			return -1, fmt.Errorf("block %d: all %d replicas unreachable or corrupt", b.Index, len(b.Replicas))
+		}
+		if src != reader && e.partitionedNow(tc.ex.id) {
+			// The reader's own node is inside a partition window: every
+			// remote replica is out of reach from this side.
+			bad[src] = true
+			continue
+		}
+		if e.fs.ReadSum(b, src) != b.Sum {
+			tc.diskRead(src, b.Size)
+			tc.transfer(src, reader, b.Size)
+			tc.checksumFailovers++
+			e.trace(TraceEvent{Type: TraceChecksum, Job: tc.jobID, Stage: tc.stage.ID, Task: tc.index, Exec: tc.ex.id,
+				Detail: fmt.Sprintf("replica on node %d failed checksum", src)})
+			bad[src] = true
+			continue
+		}
+		return src, nil
+	}
+}
+
+// fetchReady gates the opening of one shuffle segment: a fetch drops while
+// either endpoint is partitioned or when the chaos plan injects a transient
+// failure, and dropped fetches are retried with bounded exponential backoff
+// (Spark's spark.shuffle.io.maxRetries / retryWait). Exhausting the budget
+// surfaces errInjectedFetch for injected transients (charged to the
+// attempt) or fetchFailedError for partitions (requeued without charge). A
+// segment whose map output is gone fails immediately — no retry can bring
+// it back; only lineage recovery can.
+func (tc *taskContext) fetchReady(s segment) error {
+	e := tc.eng
+	f := e.opts.Faults
+	budget := e.opts.TaskMaxFailures - 1
+	for try := 0; ; try++ {
+		if tc.aborted() {
+			return tc.failed
+		}
+		if !e.shuffle.segmentValid(s) {
+			return &fetchFailedError{node: s.node}
+		}
+		if try > 0 && tc.fetchFault && f != nil {
+			// Transients may clear between tries: re-roll this try.
+			tc.fetchFault = f.FetchFaultTry(tc.stage.ID, tc.index, tc.attempt, try, budget)
+		}
+		partitioned := e.partitionedNow(tc.ex.id) || e.partitionedNow(s.node)
+		if !partitioned && !tc.fetchFault {
+			return nil
+		}
+		if try >= e.opts.FetchMaxRetries {
+			if tc.fetchFault {
+				tc.fetchFault = false
+				return errInjectedFetch
+			}
+			return &fetchFailedError{node: s.node}
+		}
+		tc.fetchRetries++
+		tc.p.Sleep(e.opts.FetchRetryWait << try)
+	}
 }
 
 // injectFault fires the scheduled transient I/O fault once the task's
@@ -269,6 +362,7 @@ func (tc *taskContext) run(work job.Work) (job.TaskMetrics, error) {
 	start := tc.p.Now()
 	disk0 := tc.ex.node.Disk.Snapshot()
 	tc.faultAt = -1
+	tc.blockSrc = -1
 	if f := tc.eng.opts.Faults; f != nil {
 		budget := tc.eng.opts.TaskMaxFailures - 1
 		if ok, frac := f.TaskFault(tc.stage.ID, tc.index, tc.attempt, budget); ok {
@@ -294,16 +388,18 @@ func (tc *taskContext) run(work job.Work) (job.TaskMetrics, error) {
 		busyFrac = (disk1.Busy - disk0.Busy).Seconds() / win
 	}
 	return job.TaskMetrics{
-		Stage:          tc.stage.ID,
-		Index:          tc.index,
-		Start:          start,
-		End:            tc.p.Now(),
-		BlockedIO:      tc.blockedIO,
-		BytesMoved:     tc.bytesMoved,
-		DiskReadBytes:  tc.diskReadB,
-		DiskWriteBytes: tc.diskWriteB,
-		NetBytes:       tc.netB,
-		DiskBusyFrac:   busyFrac,
-		Local:          tc.allLocal,
+		Stage:             tc.stage.ID,
+		Index:             tc.index,
+		Start:             start,
+		End:               tc.p.Now(),
+		BlockedIO:         tc.blockedIO,
+		BytesMoved:        tc.bytesMoved,
+		DiskReadBytes:     tc.diskReadB,
+		DiskWriteBytes:    tc.diskWriteB,
+		NetBytes:          tc.netB,
+		DiskBusyFrac:      busyFrac,
+		Local:             tc.allLocal,
+		FetchRetries:      tc.fetchRetries,
+		ChecksumFailovers: tc.checksumFailovers,
 	}, err
 }

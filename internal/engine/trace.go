@@ -37,11 +37,24 @@ const (
 	TraceTaskFail   = "task_fail"
 	TraceResize     = "resize"
 	TraceSpeculate  = "speculate"
-	// Fault-path events (chaos schedules and recovery).
+	// Fault-path events (chaos schedules and recovery). TraceExecCrash
+	// marks the physical process death; TraceExecLost marks the driver
+	// *declaring* the executor lost (heartbeat timeout), which under the
+	// failure detector happens strictly later.
+	TraceExecCrash     = "exec_crash"
 	TraceExecLost      = "exec_lost"
 	TraceExecRestart   = "exec_restart"
 	TraceStageResubmit = "stage_resubmit"
 	TraceBlacklist     = "blacklist"
+	// Gray-failure events: suspicion raised/cleared by the heartbeat
+	// detector, a false-positive incarnation fenced, a node throttled by
+	// the chaos plan, a partition window opening/healing, and a DFS block
+	// checksum mismatch triggering replica failover.
+	TraceExecSuspect = "exec_suspect"
+	TraceExecFence   = "exec_fence"
+	TraceExecSlow    = "exec_slow"
+	TracePartition   = "partition"
+	TraceChecksum    = "checksum"
 )
 
 // traceSink serializes events to the configured writer.

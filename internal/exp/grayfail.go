@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"sae/internal/chaos"
+	"sae/internal/core"
+	"sae/internal/engine/job"
+	"sae/internal/workloads"
+)
+
+// GrayFailRow is one (policy, schedule) cell of the gray-failure matrix.
+type GrayFailRow struct {
+	Policy   string
+	Schedule string
+	Seconds  float64
+	// DegradedPct is the runtime increase over the same policy's quiet
+	// run.
+	DegradedPct float64
+	// Suspected counts heartbeat suspicions raised by the driver's
+	// failure detector, including ones that later cleared.
+	Suspected int
+	// Fenced counts declared-lost incarnations ordered onto a fresh
+	// epoch after a late heartbeat (detector false positives).
+	Fenced            int
+	LostExecutors     int
+	FetchRetries      int
+	ChecksumFailovers int
+}
+
+// GrayFailResult is the gray-failure experiment: Terasort under failure
+// modes that degrade rather than kill — a node running slow, a network
+// partition that drops heartbeats while tasks keep running, and silently
+// corrupted DFS replicas. Where the faults experiment asks whether the
+// sizing policies survive fail-stop crashes, this one asks whether they
+// survive the murkier half of the failure spectrum: does the heartbeat
+// detector's false positive stay fenced, do bounded fetch retries absorb
+// the partition, and does checksum failover route around rot.
+type GrayFailResult struct {
+	Rows []GrayFailRow
+}
+
+// GrayFail runs Terasort under each policy × gray-failure schedule. Per
+// policy, a quiet calibration run fixes the fault times: the slowdown and
+// the partition both land at 25% of that policy's own quiet runtime
+// (mid-map, with the shuffle still ahead), and the partition lasts 20% of
+// it — long enough to outlive the heartbeat timeout at paper scale, so
+// the detector's false-positive path is exercised, not just its timers.
+func GrayFail(s Setup) (*GrayFailResult, error) {
+	policies := []job.Policy{
+		core.Default{},
+		core.Static{IOThreads: 8},
+		core.DefaultDynamic(),
+	}
+	res := &GrayFailResult{}
+	w := workloads.Terasort(s.workloadConfig())
+	for _, pol := range policies {
+		quiet, err := s.WithFaults(nil).Run(w, pol, nil)
+		if err != nil {
+			return nil, fmt.Errorf("grayfail %s quiet: %w", pol.Name(), err)
+		}
+		at := quiet.Runtime / 4
+		partDur := quiet.Runtime * 20 / 100
+		schedules := []*chaos.Plan{
+			nil,
+			chaos.SlowAt(1, at, 4),
+			chaos.PartitionAt(1, at, partDur),
+			chaos.Corrupt(0.05, s.Seed),
+		}
+		for _, plan := range schedules {
+			rep := quiet
+			if !plan.Empty() {
+				rep, err = s.WithFaults(plan).Run(w, pol, nil)
+				if err != nil {
+					return nil, fmt.Errorf("grayfail %s %s: %w", pol.Name(), plan, err)
+				}
+			}
+			row := GrayFailRow{
+				Policy:            pol.Name(),
+				Schedule:          plan.String(),
+				Seconds:           rep.Runtime.Seconds(),
+				Suspected:         rep.Suspected,
+				Fenced:            rep.Fenced,
+				LostExecutors:     rep.LostExecutors,
+				FetchRetries:      rep.FetchRetries,
+				ChecksumFailovers: rep.ChecksumFailovers,
+			}
+			if quiet.Runtime > 0 {
+				row.DegradedPct = 100 * (rep.Runtime.Seconds() - quiet.Runtime.Seconds()) / quiet.Runtime.Seconds()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Get returns the row for (policy, schedule).
+func (r *GrayFailResult) Get(policy, schedule string) (GrayFailRow, bool) {
+	for _, row := range r.Rows {
+		if row.Policy == policy && row.Schedule == schedule {
+			return row, true
+		}
+	}
+	return GrayFailRow{}, false
+}
+
+func (r *GrayFailResult) String() string {
+	var b strings.Builder
+	b.WriteString("GrayFail — Terasort under gray failures (slow node, partition, corrupt replicas)\n")
+	fmt.Fprintf(&b, "  %-16s %-22s %9s %9s %7s %6s %5s %7s %9s\n",
+		"policy", "schedule", "runtime", "degraded", "suspect", "fenced", "lost", "fetchRT", "ckFailovr")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s %-22s %8.1fs %+8.1f%% %7d %6d %5d %7d %9d\n",
+			row.Policy, row.Schedule, row.Seconds, row.DegradedPct,
+			row.Suspected, row.Fenced, row.LostExecutors, row.FetchRetries, row.ChecksumFailovers)
+	}
+	return b.String()
+}
+
+// CSVTables implements Tabular.
+func (r *GrayFailResult) CSVTables() map[string][][]string {
+	rows := [][]string{{"policy", "schedule", "seconds", "degraded_pct",
+		"suspected", "fenced", "lost_executors", "fetch_retries", "checksum_failovers"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Policy, row.Schedule, ftoa(row.Seconds), ftoa(row.DegradedPct),
+			itoa(row.Suspected), itoa(row.Fenced), itoa(row.LostExecutors),
+			itoa(row.FetchRetries), itoa(row.ChecksumFailovers),
+		})
+	}
+	return map[string][][]string{"grayfail": rows}
+}

@@ -53,6 +53,7 @@ type Server struct {
 	streams []*stream
 	last    time.Duration
 	next    *sim.Event
+	scale   float64 // multiplies the curve (gray-failure throttling); 1 = nominal
 
 	busy           time.Duration // total time with >=1 active stream
 	served         float64       // total units served
@@ -71,8 +72,27 @@ func NewServer(k *sim.Kernel, cfg Config) *Server {
 	if cfg.Curve == nil {
 		panic("psres: Config.Curve is required")
 	}
-	return &Server{k: k, cfg: cfg, last: k.Now()}
+	return &Server{k: k, cfg: cfg, last: k.Now(), scale: 1}
 }
+
+// SetRateScale rescales the server's aggregate service rate (and per-stream
+// cap) to scale × nominal, re-planning any in-flight streams from the current
+// instant. Gray-failure injection uses this to degrade a device mid-run;
+// scale 1 restores nominal service.
+func (s *Server) SetRateScale(scale float64) {
+	if scale <= 0 || math.IsNaN(scale) {
+		panic(fmt.Sprintf("psres %s: non-positive rate scale %v", s.cfg.Name, scale))
+	}
+	if scale == s.scale {
+		return
+	}
+	s.advance()
+	s.scale = scale
+	s.recompute()
+}
+
+// RateScale returns the current service-rate scale (1 = nominal).
+func (s *Server) RateScale() float64 { return s.scale }
 
 // Serve blocks p until demand units have been served. Weight scales this
 // stream's share of capacity (1 = normal; 0.5 = progresses at half the fair
@@ -165,13 +185,13 @@ func (s *Server) recompute() {
 	if n == 0 {
 		return
 	}
-	total := s.cfg.Curve(n)
+	total := s.scale * s.cfg.Curve(n)
 	if total <= 0 || math.IsNaN(total) {
 		panic(fmt.Sprintf("psres %s: curve(%d) = %v", s.cfg.Name, n, total))
 	}
 	share := total / float64(n)
-	if s.cfg.PerStreamCap > 0 && share > s.cfg.PerStreamCap {
-		share = s.cfg.PerStreamCap
+	if lim := s.scale * s.cfg.PerStreamCap; s.cfg.PerStreamCap > 0 && share > lim {
+		share = lim
 	}
 	minT := math.Inf(1)
 	for _, st := range s.streams {

@@ -148,8 +148,12 @@ func RunMulti(s Setup, ws []*Workload, p Policy, sched InterJobPolicy) ([]*JobRe
 }
 
 // ParseFaults parses a chaos schedule spec, e.g. "crash@90s",
-// "crash2@2m+30s,flaky:0.02,seed:7", "mayhem@10m" or "quiet". See
-// chaos.Parse for the grammar.
+// "crash2@2m+30s,flaky:0.02,seed:7", "mayhem@10m" or "quiet". Gray-failure
+// clauses degrade instead of kill: "slow:1@60sx4" throttles a node's
+// devices 4x, "partition:2@90s+45s" drops an executor's heartbeats and
+// shuffle fetches while its tasks keep running, and "corrupt:0.02" rots
+// that fraction of DFS replicas (reads fail the checksum and fail over).
+// See chaos.Parse for the grammar.
 func ParseFaults(spec string) (*FaultPlan, error) { return chaos.Parse(spec) }
 
 // NodeSpeedFactor returns the deterministic disk speed factor the
