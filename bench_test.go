@@ -14,14 +14,11 @@ import (
 	"strings"
 	"testing"
 
+	"sae/internal/bench"
 	"sae/internal/core"
-	"sae/internal/device"
 	"sae/internal/engine/job"
 	"sae/internal/exp"
 	"sae/internal/metrics"
-	"sae/internal/psres"
-	"sae/internal/sim"
-	"sae/internal/workloads"
 )
 
 func BenchmarkTable1(b *testing.B) {
@@ -187,43 +184,39 @@ func BenchmarkFigure12(b *testing.B) {
 }
 
 // ---------------------------------------------------------------- substrates
+//
+// The substrate and engine benchmark bodies live in internal/bench so the
+// sae-bench command (which emits the BENCH_*.json perf trajectory and gates
+// CI on regressions) runs exactly the same workloads as `go test -bench`.
 
-// BenchmarkSimKernel measures raw event throughput of the DES kernel.
-func BenchmarkSimKernel(b *testing.B) {
-	k := sim.NewKernel()
-	for i := 0; i < b.N; i++ {
-		k.After(0, func() {})
-	}
-	b.ResetTimer()
-	k.Run()
-}
+// BenchmarkSimKernel measures raw event throughput of the DES kernel on the
+// same-instant ring fast lane.
+func BenchmarkSimKernel(b *testing.B) { bench.KernelRing(b) }
+
+// BenchmarkSimKernelHeap measures the 4-ary heap under pseudo-random
+// future-time inserts.
+func BenchmarkSimKernelHeap(b *testing.B) { bench.KernelHeap(b) }
+
+// BenchmarkSimTimerChurn measures the heartbeat-deadline pattern: one timer
+// rescheduled in place per simulated beat.
+func BenchmarkSimTimerChurn(b *testing.B) { bench.KernelTimerChurn(b) }
+
+// BenchmarkSimEvery measures the periodic-event primitive.
+func BenchmarkSimEvery(b *testing.B) { bench.KernelEvery(b) }
+
+// BenchmarkSimCancel measures cancel-heavy (speculation-timer) churn with
+// lazy cancellation and heap compaction.
+func BenchmarkSimCancel(b *testing.B) { bench.KernelCancel(b) }
 
 // BenchmarkProcessSwitch measures process park/resume round trips.
-func BenchmarkProcessSwitch(b *testing.B) {
-	k := sim.NewKernel()
-	k.Go("p", func(p *sim.Proc) {
-		for i := 0; i < b.N; i++ {
-			p.Sleep(1)
-		}
-	})
-	b.ResetTimer()
-	k.Run()
-}
+func BenchmarkProcessSwitch(b *testing.B) { bench.ProcessSwitch(b) }
+
+// BenchmarkProcessPingPong measures cross-goroutine baton handoffs between
+// two processes.
+func BenchmarkProcessPingPong(b *testing.B) { bench.ProcessPingPong(b) }
 
 // BenchmarkProcessorSharing measures the disk model under churn.
-func BenchmarkProcessorSharing(b *testing.B) {
-	k := sim.NewKernel()
-	s := psres.NewServer(k, psres.Config{Name: "d", Curve: device.HDD7200().Curve(1)})
-	for i := 0; i < 64; i++ {
-		k.Go("w", func(p *sim.Proc) {
-			for j := 0; j < b.N/64+1; j++ {
-				s.Serve(p, 1<<20, 1)
-			}
-		})
-	}
-	b.ResetTimer()
-	k.Run()
-}
+func BenchmarkProcessorSharing(b *testing.B) { bench.ProcessorSharing(b) }
 
 // BenchmarkDynamicController measures MAPE-K decision overhead.
 func BenchmarkDynamicController(b *testing.B) {
@@ -248,16 +241,9 @@ func BenchmarkCongestionIndex(b *testing.B) {
 	_ = sink
 }
 
-// BenchmarkEngineTerasort measures a full paper-scale engine run.
-func BenchmarkEngineTerasort(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rep, err := exp.Default().Run(workloads.Terasort(workloads.Paper()), core.DefaultDynamic(), nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(rep.Runtime.Seconds(), "virtual-s")
-	}
-}
+// BenchmarkEngineTerasort measures a full paper-scale engine run, with
+// kernel events/sec and the sim-time-over-wall-time speedup attached.
+func BenchmarkEngineTerasort(b *testing.B) { bench.EngineTerasort(b) }
 
 // BenchmarkRDDWordCount measures the dataflow layer end to end.
 func BenchmarkRDDWordCount(b *testing.B) {

@@ -1,0 +1,100 @@
+// Command sae-bench runs the repository benchmark suites and maintains the
+// machine-readable perf trajectory (BENCH_sim.json, BENCH_engine.json).
+//
+// Usage:
+//
+//	sae-bench [-suites sim,engine] [-count N] [-out DIR]     # emit/refresh
+//	sae-bench -check [-tolerance 20] [-suites ...] [-out DIR] # regression gate
+//
+// Emit mode measures each benchmark -count times, keeps the fastest run and
+// writes BENCH_<suite>.json into -out, preserving any frozen per-benchmark
+// "baseline" blocks already present in the files (before/after reference
+// numbers such as the pre-overhaul container/heap kernel). Check mode
+// re-measures and exits non-zero if any benchmark's ns/op regressed by more
+// than -tolerance percent against the committed file — CI runs this so a
+// perf regression fails the build like a broken test.
+//
+// The same benchmark bodies back `go test -bench` (see bench_test.go), so
+// numbers are comparable across both harnesses; use `go test -bench` with
+// -count and benchstat for noise-aware A/B comparisons during development.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sae/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sae-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sae-bench", flag.ContinueOnError)
+	suites := fs.String("suites", "sim,engine", "comma-separated suites to run")
+	count := fs.Int("count", 1, "measure each benchmark N times, keep the fastest")
+	out := fs.String("out", ".", "directory for BENCH_<suite>.json files")
+	check := fs.Bool("check", false, "compare against committed files instead of rewriting them")
+	tolerance := fs.Float64("tolerance", 20, "check mode: fail on ns/op regressions above this percent")
+	quiet := fs.Bool("q", false, "suppress per-benchmark progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := make(map[string]bool)
+	for _, s := range strings.Split(*suites, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			want[s] = true
+		}
+	}
+	verbose := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		verbose = nil
+	}
+
+	ran := 0
+	failed := false
+	for _, suite := range bench.Suites() {
+		if !want[suite.Name] {
+			continue
+		}
+		ran++
+		path := filepath.Join(*out, "BENCH_"+suite.Name+".json")
+		fresh := bench.RunSuite(suite, *count, verbose)
+		if !*check {
+			if err := bench.WriteFile(path, fresh); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d benchmarks)\n", path, len(fresh.Results))
+			continue
+		}
+		committed, err := bench.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("check mode needs a committed baseline: %w", err)
+		}
+		regs := bench.Compare(committed, fresh, *tolerance)
+		if len(regs) == 0 {
+			fmt.Printf("%s: OK — no benchmark regressed more than %.0f%% vs %s\n", suite.Name, *tolerance, path)
+			continue
+		}
+		failed = true
+		for _, r := range regs {
+			fmt.Printf("%s: REGRESSION %s: %.1f ns/op -> %.1f ns/op (+%.1f%%)\n",
+				suite.Name, r.Name, r.OldNs, r.NewNs, r.RatioPc)
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no known suite in %q", *suites)
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression above %.0f%% tolerance", *tolerance)
+	}
+	return nil
+}

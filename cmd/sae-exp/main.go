@@ -2,10 +2,16 @@
 //
 // Usage:
 //
-//	sae-exp [-scale F] [-nodes N] [-ssd] [-seed S] [experiment ...]
+//	sae-exp [-scale F] [-nodes N] [-ssd] [-seed S] [-parallel N] [experiment ...]
 //
 // With no arguments it runs every experiment in order. Valid experiment IDs
-// are table1, table2 and fig1 … fig12.
+// are table1, table2 and fig1 … fig12 plus the extension experiments
+// (sae-exp -list). -parallel N fans the sweep out over N worker goroutines;
+// each run owns its own simulation kernel, and results are printed in
+// submission order, so the output is identical to a sequential sweep.
+//
+// For performance work, -cpuprofile/-memprofile/-trace write pprof CPU and
+// heap profiles and a Go execution trace covering the whole sweep.
 package main
 
 import (
@@ -13,6 +19,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"time"
 
 	"sae"
@@ -34,6 +43,10 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "node-variability seed")
 	list := fs.Bool("list", false, "list experiments and exit")
 	csvDir := fs.String("csv", "", "also export each artifact's data series as CSV under this directory")
+	parallel := fs.Int("parallel", 1, "run experiments on up to N worker goroutines")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	traceFile := fs.String("trace", "", "write a Go execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,6 +59,40 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
+	}
+
 	setup := sae.DAS5().WithScale(*scale).WithNodes(*nodes)
 	setup.Seed = *seed
 	if *ssd {
@@ -56,21 +103,27 @@ func run(args []string) error {
 	if len(ids) == 0 {
 		ids = sae.ExperimentIDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		res, err := sae.RunExperiment(id, setup)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+	start := time.Now()
+	results, err := sae.RunExperiments(ids, setup, *parallel)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.ID, r.Err)
 		}
-		fmt.Print(res)
+		fmt.Print(r.Result)
 		if *csvDir != "" {
-			if tab, ok := res.(exp.Tabular); ok {
-				if err := exp.WriteCSV(filepath.Join(*csvDir, id), tab); err != nil {
+			if tab, ok := r.Result.(exp.Tabular); ok {
+				if err := exp.WriteCSV(filepath.Join(*csvDir, r.ID), tab); err != nil {
 					return err
 				}
 			}
 		}
-		fmt.Printf("  [%s regenerated in %.2fs wall time]\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("  [%s regenerated in %.2fs wall time]\n\n", r.ID, r.Wall.Seconds())
+	}
+	if *parallel > 1 {
+		fmt.Printf("[%d experiments on %d workers in %.2fs wall time]\n", len(results), *parallel, time.Since(start).Seconds())
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"sae/internal/exp"
 )
@@ -181,4 +182,43 @@ func RunExperiment(id string, s Setup) (fmt.Stringer, error) {
 		return nil, fmt.Errorf("sae: unknown experiment %q (valid: %s)", id, strings.Join(ExperimentIDs(), ", "))
 	}
 	return e.Run(s)
+}
+
+// ExperimentResult is the outcome of one experiment in a sweep.
+type ExperimentResult struct {
+	ID     string
+	Result fmt.Stringer
+	Err    error
+	// Wall is the host wall-clock time the experiment took.
+	Wall time.Duration
+}
+
+// RunExperiments runs the given experiments, fanning the sweep out across up
+// to parallel worker goroutines (<=1 runs sequentially). Every run builds
+// its own kernel, cluster and engine from the shared (value-typed) Setup, so
+// concurrent runs share no mutable state and the results — returned in the
+// order the IDs were given, regardless of completion order — are identical
+// to a sequential sweep. The one shared sink would be Setup.Trace, so a
+// non-nil Trace forces sequential execution rather than interleaving trace
+// lines from concurrent runs.
+func RunExperiments(ids []string, s Setup, parallel int) ([]ExperimentResult, error) {
+	exps := Experiments()
+	tasks := make([]exp.Task, len(ids))
+	for i, id := range ids {
+		e, ok := exps[id]
+		if !ok {
+			return nil, fmt.Errorf("sae: unknown experiment %q (valid: %s)", id, strings.Join(ExperimentIDs(), ", "))
+		}
+		run := e.Run
+		tasks[i] = exp.Task{ID: id, Run: func() (fmt.Stringer, error) { return run(s) }}
+	}
+	if s.Trace != nil {
+		parallel = 1
+	}
+	rs := exp.RunParallel(parallel, tasks)
+	out := make([]ExperimentResult, len(rs))
+	for i, r := range rs {
+		out[i] = ExperimentResult{ID: r.ID, Result: r.Result, Err: r.Err, Wall: r.Wall}
+	}
+	return out, nil
 }

@@ -1,0 +1,198 @@
+// Package bench holds the repository's benchmark bodies as plain (non-test)
+// code so the same workloads run under both `go test -bench` (the wrappers
+// in bench_test.go) and the sae-bench command, which emits the machine-
+// readable BENCH_*.json perf trajectory and gates CI on regressions.
+//
+// Bodies attach domain metrics with b.ReportMetric — events/sec (kernel
+// events fired per wall second) and sim-s/wall-s (virtual seconds simulated
+// per wall second) — which surface both in `go test -bench` output and in
+// testing.BenchmarkResult.Extra for the JSON emitter.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// Benchmark is one named benchmark body.
+type Benchmark struct {
+	Name string
+	Body func(b *testing.B)
+}
+
+// Suite is a named list of benchmarks emitted as one BENCH_<name>.json file.
+type Suite struct {
+	Name   string
+	Benchs []Benchmark
+}
+
+// Suites returns the registered suites: "sim" (kernel + processor-sharing
+// microbenchmarks) and "engine" (end-to-end experiment regenerations).
+func Suites() []Suite {
+	return []Suite{
+		{Name: "sim", Benchs: SimSuite()},
+		{Name: "engine", Benchs: EngineSuite()},
+	}
+}
+
+// Result is one benchmark measurement in the units the BENCH_*.json
+// trajectory tracks.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// EventsPerSec is kernel events fired per wall second (0 when the
+	// workload does not expose a kernel).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// SimSecPerWallSec is virtual seconds simulated per wall second.
+	SimSecPerWallSec float64 `json:"sim_s_per_wall_s,omitempty"`
+	// Baseline carries reference numbers (e.g. the pre-overhaul kernel)
+	// forward across re-emissions; sae-bench preserves it when rewriting
+	// an existing file.
+	Baseline *Baseline `json:"baseline,omitempty"`
+}
+
+// Baseline is a frozen reference measurement for before/after comparisons.
+type Baseline struct {
+	Ref              string  `json:"ref"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	EventsPerSec     float64 `json:"events_per_sec,omitempty"`
+	SimSecPerWallSec float64 `json:"sim_s_per_wall_s,omitempty"`
+}
+
+// File is the BENCH_<suite>.json schema.
+type File struct {
+	Schema  string   `json:"schema"`
+	Suite   string   `json:"suite"`
+	Go      string   `json:"go"`
+	Count   int      `json:"count"`
+	Results []Result `json:"benchmarks"`
+}
+
+// RunSuite measures every benchmark in the suite count times and keeps, per
+// benchmark, the fastest run (minimum ns/op) — the standard way to damp
+// scheduler noise on shared machines.
+func RunSuite(s Suite, count int, verbose func(string)) File {
+	if count < 1 {
+		count = 1
+	}
+	f := File{Schema: "sae-bench/v1", Suite: s.Name, Go: runtime.Version(), Count: count}
+	for _, bm := range s.Benchs {
+		var best Result
+		for i := 0; i < count; i++ {
+			r := testing.Benchmark(bm.Body)
+			got := toResult(bm.Name, r)
+			if i == 0 || got.NsPerOp < best.NsPerOp {
+				best = got
+			}
+		}
+		if verbose != nil {
+			verbose(fmt.Sprintf("%s/%s\t%d iter\t%.1f ns/op\t%.0f allocs/op\t%s",
+				s.Name, best.Name, best.Iterations, best.NsPerOp, best.AllocsPerOp, extras(best)))
+		}
+		f.Results = append(f.Results, best)
+	}
+	return f
+}
+
+func extras(r Result) string {
+	out := ""
+	if r.EventsPerSec > 0 {
+		out += fmt.Sprintf("%.3g events/sec ", r.EventsPerSec)
+	}
+	if r.SimSecPerWallSec > 0 {
+		out += fmt.Sprintf("%.3g sim-s/wall-s", r.SimSecPerWallSec)
+	}
+	return out
+}
+
+func toResult(name string, r testing.BenchmarkResult) Result {
+	res := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+	}
+	if v, ok := r.Extra["events/sec"]; ok {
+		res.EventsPerSec = v
+	}
+	if v, ok := r.Extra["sim-s/wall-s"]; ok {
+		res.SimSecPerWallSec = v
+	}
+	return res
+}
+
+// WriteFile writes f as indented JSON to path. If the path already holds a
+// sae-bench file, per-benchmark Baseline blocks are carried over so frozen
+// before/after reference numbers survive re-emission.
+func WriteFile(path string, f File) error {
+	if old, err := ReadFile(path); err == nil {
+		byName := make(map[string]*Baseline, len(old.Results))
+		for i := range old.Results {
+			byName[old.Results[i].Name] = old.Results[i].Baseline
+		}
+		for i := range f.Results {
+			if bl := byName[f.Results[i].Name]; bl != nil {
+				f.Results[i].Baseline = bl
+			}
+		}
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses a BENCH_*.json file.
+func ReadFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Regression is one benchmark whose fresh ns/op exceeds the committed one by
+// more than the tolerance.
+type Regression struct {
+	Name    string
+	OldNs   float64
+	NewNs   float64
+	RatioPc float64 // (new/old - 1) * 100
+}
+
+// Compare checks fresh results against a committed file: any benchmark whose
+// ns/op grew by more than tolPct percent is reported as a regression.
+// Benchmarks present on only one side are ignored (additions are fine;
+// removals are caught by review).
+func Compare(committed, fresh File, tolPct float64) []Regression {
+	byName := make(map[string]Result, len(committed.Results))
+	for _, r := range committed.Results {
+		byName[r.Name] = r
+	}
+	var regs []Regression
+	for _, nr := range fresh.Results {
+		or, ok := byName[nr.Name]
+		if !ok || or.NsPerOp <= 0 {
+			continue
+		}
+		pc := (nr.NsPerOp/or.NsPerOp - 1) * 100
+		if pc > tolPct {
+			regs = append(regs, Regression{Name: nr.Name, OldNs: or.NsPerOp, NewNs: nr.NsPerOp, RatioPc: pc})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].RatioPc > regs[j].RatioPc })
+	return regs
+}

@@ -222,23 +222,28 @@ func NewEngine(opts Options) (*Engine, error) {
 		},
 	})
 	// Each executor beats to the driver on the heartbeat interval; beats
-	// from dead or partitioned executors are dropped at the source.
+	// from dead or partitioned executors are dropped at the source. The
+	// beat is a periodic kernel event rescheduled in place — one queue
+	// entry per executor for the whole run — rather than a process that
+	// re-arms a fresh sleep timer per beat.
 	for i, ex := range e.executors {
 		i, ex := i, ex
-		k.Go(fmt.Sprintf("heartbeat-%d", i), func(p *sim.Proc) {
-			for !e.done {
-				p.Sleep(e.opts.HeartbeatInterval)
-				if e.done || !ex.alive || e.partitionedNow(i) {
-					continue
-				}
-				e.toDriver.Send(e.cluster.ControlLatency(), driverMsg{heartbeat: &heartbeatMsg{
-					exec:      i,
-					epoch:     ex.epoch,
-					running:   ex.running,
-					limit:     ex.limit,
-					tasksDone: ex.totalTasks,
-				}})
+		var tick sim.Event
+		tick = k.Every(e.opts.HeartbeatInterval, func() {
+			if e.done {
+				tick.Cancel()
+				return
 			}
+			if !ex.alive || e.partitionedNow(i) {
+				return
+			}
+			e.toDriver.Send(e.cluster.ControlLatency(), driverMsg{heartbeat: &heartbeatMsg{
+				exec:      i,
+				epoch:     ex.epoch,
+				running:   ex.running,
+				limit:     ex.limit,
+				tasksDone: ex.totalTasks,
+			}})
 		})
 	}
 	for i := range e.executors {

@@ -48,8 +48,12 @@ type execManager struct {
 	lastBeat  []time.Duration
 	suspected []bool
 	fencing   []bool
-	suspectEv []*sim.Event
-	lostEv    []*sim.Event
+	suspectEv []sim.Event
+	lostEv    []sim.Event
+	// onSuspectFn/onLostFn hold the per-executor timer callbacks, built once
+	// at construction so re-arming a detector never allocates a closure.
+	onSuspectFn []func()
+	onLostFn    []func()
 	// lastProgress mirrors the latest beat's task-progress payload, for
 	// introspection and debugging.
 	lastProgress []int
@@ -69,13 +73,18 @@ func newExecManager(eng *Engine, n, blacklistAfter int) *execManager {
 		lastBeat:       make([]time.Duration, n),
 		suspected:      make([]bool, n),
 		fencing:        make([]bool, n),
-		suspectEv:      make([]*sim.Event, n),
-		lostEv:         make([]*sim.Event, n),
+		suspectEv:      make([]sim.Event, n),
+		lostEv:         make([]sim.Event, n),
+		onSuspectFn:    make([]func(), n),
+		onLostFn:       make([]func(), n),
 		lastProgress:   make([]int, n),
 	}
 	for i := range m.alive {
 		m.alive[i] = true
 		m.inflightJob[i] = make(map[int]int)
+		i := i
+		m.onSuspectFn[i] = func() { m.onSuspect(i) }
+		m.onLostFn[i] = func() { m.onLost(i) }
 	}
 	return m
 }
@@ -87,22 +96,26 @@ func (m *execManager) suspectAfter() time.Duration {
 }
 
 // armDetector (re)starts the failure-detector timer for executor i from the
-// current instant, as if a beat had just been accepted.
+// current instant, as if a beat had just been accepted. The suspect deadline
+// is pushed back in place on every beat — the kernel-queue churn of
+// cancelling and reallocating a timer per heartbeat is what the indexed
+// event queue exists to avoid.
 func (m *execManager) armDetector(i int) {
-	m.cancelTimers(i)
+	m.lostEv[i].Cancel()
+	m.lostEv[i] = sim.Event{}
 	m.lastBeat[i] = m.eng.k.Now()
-	m.suspectEv[i] = m.eng.k.After(m.suspectAfter(), func() { m.onSuspect(i) })
+	if m.suspectEv[i].Active() {
+		m.suspectEv[i].Reschedule(m.eng.k.Now() + m.suspectAfter())
+	} else {
+		m.suspectEv[i] = m.eng.k.After(m.suspectAfter(), m.onSuspectFn[i])
+	}
 }
 
 func (m *execManager) cancelTimers(i int) {
-	if m.suspectEv[i] != nil {
-		m.suspectEv[i].Cancel()
-		m.suspectEv[i] = nil
-	}
-	if m.lostEv[i] != nil {
-		m.lostEv[i].Cancel()
-		m.lostEv[i] = nil
-	}
+	m.suspectEv[i].Cancel()
+	m.suspectEv[i] = sim.Event{}
+	m.lostEv[i].Cancel()
+	m.lostEv[i] = sim.Event{}
 }
 
 // noteBeat accepts a heartbeat from a live executor: record progress, clear
@@ -122,7 +135,7 @@ func (m *execManager) noteBeat(b *heartbeatMsg) {
 // onSuspect fires when suspectAfter passes with no beat: the executor stops
 // receiving new work, and the loss timer starts. Runs in event context.
 func (m *execManager) onSuspect(i int) {
-	m.suspectEv[i] = nil
+	m.suspectEv[i] = sim.Event{}
 	if m.eng.done || !m.alive[i] {
 		return
 	}
@@ -135,14 +148,14 @@ func (m *execManager) onSuspect(i int) {
 		}
 	}
 	wait := m.eng.opts.HeartbeatTimeout - m.suspectAfter()
-	m.lostEv[i] = m.eng.k.After(wait, func() { m.onLost(i) })
+	m.lostEv[i] = m.eng.k.After(wait, m.onLostFn[i])
 }
 
 // onLost fires at the heartbeat timeout: declare the incarnation lost. The
 // declaration goes through the driver mailbox so every scheduler mutation
 // happens in the driver loop, in deterministic message order.
 func (m *execManager) onLost(i int) {
-	m.lostEv[i] = nil
+	m.lostEv[i] = sim.Event{}
 	if m.eng.done || !m.alive[i] {
 		return
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -299,5 +300,58 @@ func TestHeartbeatConfigWiring(t *testing.T) {
 	}
 	if opts.FetchMaxRetries != -1 {
 		t.Fatalf("maxRetries=0 should disable retries (-1), got %d", opts.FetchMaxRetries)
+	}
+}
+
+// TestQuietTraceDeterminism is the quiet-plan (no faults) counterpart of the
+// chaos matrix: engine traces must be byte-identical across repeated runs,
+// and a run executing concurrently with other engines on separate goroutines
+// — the sae-exp -parallel path — must produce the very same bytes, because
+// every run owns its entire simulated world.
+func TestQuietTraceDeterminism(t *testing.T) {
+	run := func() (*JobReport, []byte, error) {
+		var trace bytes.Buffer
+		spec, inputs := twoStageJob()
+		opts := grayOptions(4, core.DefaultDynamic())
+		opts.Inputs = inputs
+		opts.Trace = &trace
+		rep, err := Run(opts, spec)
+		return rep, trace.Bytes(), err
+	}
+	repA, traceA, errA := run()
+	repB, traceB, errB := run()
+	if errA != nil || errB != nil {
+		t.Fatalf("quiet run failed: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatal("reports differ across identical quiet runs")
+	}
+	if !bytes.Equal(traceA, traceB) {
+		t.Fatal("traces differ across identical quiet runs")
+	}
+	// Four engines at once, each on its own goroutine with its own kernel.
+	const n = 4
+	traces := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, tr, err := run()
+			if err != nil {
+				t.Errorf("concurrent quiet run %d failed: %v", i, err)
+				return
+			}
+			traces[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	for i, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		if !bytes.Equal(tr, traceA) {
+			t.Fatalf("concurrent run %d trace differs from solo run", i)
+		}
 	}
 }

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Task is one independent unit of an experiment sweep: an ID for reporting
+// and a closure that produces the printable result. The closure must build
+// its entire simulated world itself (kernel, cluster, engine) — tasks run
+// concurrently, and determinism of a parallel sweep rests on each run owning
+// all of its mutable state.
+type Task struct {
+	ID  string
+	Run func() (fmt.Stringer, error)
+}
+
+// TaskResult is the outcome of one Task.
+type TaskResult struct {
+	ID     string
+	Result fmt.Stringer
+	Err    error
+	// Wall is the host wall-clock time the task took.
+	Wall time.Duration
+}
+
+// RunParallel executes tasks on up to workers goroutines and returns their
+// results indexed exactly like tasks — submission order, independent of
+// completion order — so the rendered output of a parallel sweep is
+// byte-identical to a sequential one. workers < 1 is treated as 1; tasks
+// never observe each other, so any interleaving yields the same results.
+func RunParallel(workers int, tasks []Task) []TaskResult {
+	results := make([]TaskResult, len(tasks))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for i, t := range tasks {
+			results[i] = runTask(t)
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runTask(tasks[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func runTask(t Task) TaskResult {
+	start := time.Now()
+	res, err := t.Run()
+	return TaskResult{ID: t.ID, Result: res, Err: err, Wall: time.Since(start)}
+}

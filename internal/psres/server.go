@@ -19,7 +19,10 @@ import (
 )
 
 // Curve maps the number of concurrent streams to the aggregate service rate
-// in units/second. It must be strictly positive for n >= 1.
+// in units/second. It must be strictly positive for n >= 1, and must be a
+// pure function of n: the server memoizes it per stream count, because
+// device curves interpolate on a log scale and the transcendental math would
+// otherwise dominate every arrival and departure.
 type Curve func(n int) float64
 
 // Flat returns a curve with constant aggregate rate regardless of
@@ -52,8 +55,25 @@ type Server struct {
 
 	streams []*stream
 	last    time.Duration
-	next    *sim.Event
-	scale   float64 // multiplies the curve (gray-failure throttling); 1 = nominal
+	next    sim.Event
+	// nextAt is the absolute time s.next is scheduled for, valid while
+	// s.next is active. When a recompute lands on the same nanosecond —
+	// an arrival that provably doesn't move the next completion, e.g. a
+	// cap-bound CPU stream joining idle cores — the reschedule is skipped
+	// outright.
+	nextAt time.Duration
+	// onComp caches the completion callback so rescheduling the next
+	// completion never reallocates the closure.
+	onComp func()
+	// freeStream recycles stream structs (one per Serve call) and woken is
+	// the completion pass's reusable scratch; together they make the
+	// Serve/complete cycle allocation-free in steady state.
+	freeStream *stream
+	woken      []*stream
+	scale      float64 // multiplies the curve (gray-failure throttling); 1 = nominal
+	// curveMemo caches cfg.Curve(n) by n (unscaled); curves are pure, so a
+	// cached value is bit-identical to recomputing it.
+	curveMemo []float64
 
 	busy           time.Duration // total time with >=1 active stream
 	served         float64       // total units served
@@ -64,7 +84,11 @@ type stream struct {
 	remaining float64
 	weight    float64
 	rate      float64
-	done      *sim.Signal
+	// proc is the single process blocked in Serve on this stream; it is
+	// woken directly (Kernel.Wake) rather than through a per-stream Signal
+	// allocation.
+	proc *sim.Proc
+	next *stream // free-list link
 }
 
 // NewServer returns a server bound to kernel k.
@@ -72,7 +96,25 @@ func NewServer(k *sim.Kernel, cfg Config) *Server {
 	if cfg.Curve == nil {
 		panic("psres: Config.Curve is required")
 	}
-	return &Server{k: k, cfg: cfg, last: k.Now(), scale: 1}
+	s := &Server{k: k, cfg: cfg, last: k.Now(), scale: 1}
+	s.onComp = s.onCompletion
+	return s
+}
+
+// curveAt returns cfg.Curve(n), memoized.
+func (s *Server) curveAt(n int) float64 {
+	if n < len(s.curveMemo) {
+		if v := s.curveMemo[n]; v != 0 {
+			return v
+		}
+	} else {
+		memo := make([]float64, n+n/2+8)
+		copy(memo, s.curveMemo)
+		s.curveMemo = memo
+	}
+	v := s.cfg.Curve(n)
+	s.curveMemo[n] = v
+	return v
 }
 
 // SetRateScale rescales the server's aggregate service rate (and per-stream
@@ -105,11 +147,18 @@ func (s *Server) Serve(p *sim.Proc, demand, weight float64) {
 		panic(fmt.Sprintf("psres %s: non-positive weight %v", s.cfg.Name, weight))
 	}
 	s.advance()
-	st := &stream{remaining: demand, weight: weight, done: sim.NewSignal(s.k)}
+	st := s.freeStream
+	if st != nil {
+		s.freeStream = st.next
+		st.next = nil
+	} else {
+		st = &stream{}
+	}
+	st.remaining, st.weight, st.proc = demand, weight, p
 	s.streams = append(s.streams, st)
 	s.notifyActive()
 	s.recompute()
-	st.done.Wait(p)
+	p.Park()
 }
 
 // Active returns the number of streams currently in service.
@@ -175,17 +224,19 @@ func (s *Server) advance() {
 }
 
 // recompute reassigns rates after an arrival or departure and schedules the
-// next completion.
+// next completion. The pending completion event is rescheduled in place
+// (same queue entry, fresh sequence number) rather than cancelled and
+// reallocated — under stream churn the cancel-and-reschedule pattern left
+// the kernel queue full of dead timers and allocated a new event per
+// arrival.
 func (s *Server) recompute() {
-	if s.next != nil {
-		s.next.Cancel()
-		s.next = nil
-	}
 	n := len(s.streams)
 	if n == 0 {
+		s.next.Cancel()
+		s.next = sim.Event{}
 		return
 	}
-	total := s.scale * s.cfg.Curve(n)
+	total := s.scale * s.curveAt(n)
 	if total <= 0 || math.IsNaN(total) {
 		panic(fmt.Sprintf("psres %s: curve(%d) = %v", s.cfg.Name, n, total))
 	}
@@ -206,25 +257,58 @@ func (s *Server) recompute() {
 	if d < 0 {
 		d = 0
 	}
-	s.next = s.k.After(d, s.onCompletion)
+	at := s.k.Now() + d
+	if s.next.Active() {
+		if at == s.nextAt {
+			// The arrival/departure provably didn't change the next
+			// completion instant; the queued event is already right.
+			return
+		}
+		s.next.Reschedule(at)
+	} else {
+		s.next = s.k.After(d, s.onComp)
+	}
+	s.nextAt = at
 }
 
 // onCompletion removes drained streams, wakes their waiters and recomputes.
+// Progress integration and drain classification run in one pass, and the
+// waiters are woken from the freshly compacted stream set *before* the next
+// completion is scheduled: if another stream drains at this same timestamp,
+// its completion event then fires after these wakeups, so waiters always
+// observe Active() as of their own completion and wake in completion order.
 func (s *Server) onCompletion() {
-	s.next = nil
-	s.advance()
+	s.next = sim.Event{}
+	now := s.k.Now()
+	elapsed := now - s.last
+	dt := elapsed.Seconds()
+	s.last = now
+	if n := len(s.streams); n > 0 && dt > 0 {
+		s.busy += elapsed
+		s.activeIntegral += float64(n) * dt
+	}
 	kept := s.streams[:0]
-	var woken []*stream
+	woken := s.woken[:0]
 	for _, st := range s.streams {
+		if dt > 0 {
+			delta := st.rate * dt
+			if delta > st.remaining {
+				delta = st.remaining
+			}
+			st.remaining -= delta
+			s.served += delta
+		}
 		// A stream is done when its residual work is below what it
 		// would serve in 2ns — i.e. float noise.
 		if st.remaining <= st.rate*2e-9+1e-12 {
-			s.served += st.remaining
-			st.remaining = 0
 			woken = append(woken, st)
 		} else {
 			kept = append(kept, st)
 		}
+	}
+	for _, st := range woken {
+		s.served += st.remaining
+		st.remaining = 0
 	}
 	for i := len(kept); i < len(s.streams); i++ {
 		s.streams[i] = nil
@@ -233,8 +317,12 @@ func (s *Server) onCompletion() {
 	if len(woken) > 0 {
 		s.notifyActive()
 	}
-	s.recompute()
 	for _, st := range woken {
-		st.done.Broadcast()
+		s.k.Wake(st.proc)
+		st.proc = nil
+		st.next = s.freeStream
+		s.freeStream = st
 	}
+	s.woken = woken[:0]
+	s.recompute()
 }

@@ -299,3 +299,106 @@ func TestFairnessProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSameInstantCompletionsWakeCompacted is the regression test for the
+// onCompletion wake ordering: when several streams drain at the same
+// timestamp, every waiter must wake *after* the server's stream set has been
+// compacted, so Active() observed on wake-up reflects the waiter's own
+// completion (historically the broadcast ran before state settled, so a
+// waiter woken into a zero-stream server could still read a stale count).
+func TestSameInstantCompletionsWakeCompacted(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "d", Curve: Flat(10), PerStreamCap: 1})
+	var activeAtWake []int
+	var wakeOrder []int
+	// Cap-bound streams progress independently at rate 1; demands are tuned
+	// so all three drain at exactly t=1s in one completion pass.
+	starts := []struct {
+		at     time.Duration
+		demand float64
+	}{
+		{0, 1.0},
+		{200 * time.Millisecond, 0.8},
+		{600 * time.Millisecond, 0.4},
+	}
+	for i, st := range starts {
+		i, st := i, st
+		k.At(st.at, func() {
+			k.Go("w", func(p *sim.Proc) {
+				s.Serve(p, st.demand, 1)
+				activeAtWake = append(activeAtWake, s.Active())
+				wakeOrder = append(wakeOrder, i)
+				if p.Now() != time.Second {
+					t.Errorf("stream %d completed at %v, want 1s", i, p.Now())
+				}
+			})
+		})
+	}
+	k.Run()
+	if len(activeAtWake) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(activeAtWake))
+	}
+	for i, n := range activeAtWake {
+		if n != 0 {
+			t.Fatalf("waiter %d woke with Active() = %d, want 0 (stale stream set)", wakeOrder[i], n)
+		}
+	}
+	for i, v := range wakeOrder {
+		if v != i {
+			t.Fatalf("wake order %v, want completion (arrival) order", wakeOrder)
+		}
+	}
+}
+
+// TestBackToBackCompletions drains two cap-bound streams one nanosecond
+// apart: the first completion must wake only its own stream, reschedule the
+// survivor, and leave Active() consistent at each wake.
+func TestBackToBackCompletions(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewServer(k, Config{Name: "d", Curve: Flat(10), PerStreamCap: 1})
+	type wake struct {
+		at     time.Duration
+		active int
+	}
+	var wakes []wake
+	serve := func(demand float64) {
+		k.Go("w", func(p *sim.Proc) {
+			s.Serve(p, demand, 1)
+			wakes = append(wakes, wake{p.Now(), s.Active()})
+		})
+	}
+	serve(1.0)
+	serve(1.0 + 100e-9) // drains 100ns after the first, via a separate event
+	k.Run()
+	if len(wakes) != 2 {
+		t.Fatalf("woke %d waiters, want 2", len(wakes))
+	}
+	if wakes[0].active != 1 {
+		t.Fatalf("first waiter woke with Active() = %d, want 1 (second stream still in service)", wakes[0].active)
+	}
+	if wakes[1].active != 0 {
+		t.Fatalf("second waiter woke with Active() = %d, want 0", wakes[1].active)
+	}
+	if d := wakes[1].at - wakes[0].at; d <= 0 || d > time.Microsecond {
+		t.Fatalf("completions %v apart, want back-to-back within 1µs", d)
+	}
+	// A re-serve issued immediately on wake-up must observe a fresh server.
+	reserved := false
+	k2 := sim.NewKernel()
+	s2 := NewServer(k2, Config{Name: "d2", Curve: Flat(1)})
+	k2.Go("w", func(p *sim.Proc) {
+		s2.Serve(p, 1, 1)
+		if s2.Active() != 0 {
+			t.Errorf("Active() = %d on wake, want 0", s2.Active())
+		}
+		s2.Serve(p, 1, 1) // same-instant re-arrival
+		reserved = true
+		if p.Now() != 2*time.Second {
+			t.Errorf("re-serve completed at %v, want 2s", p.Now())
+		}
+	})
+	k2.Run()
+	if !reserved {
+		t.Fatal("same-instant re-serve never completed")
+	}
+}
