@@ -218,6 +218,10 @@ func BenchmarkProcessPingPong(b *testing.B) { bench.ProcessPingPong(b) }
 // BenchmarkProcessorSharing measures the disk model under churn.
 func BenchmarkProcessorSharing(b *testing.B) { bench.ProcessorSharing(b) }
 
+// BenchmarkArrivalGen measures open-loop traffic generation: the thinning
+// draw plus kernel dispatch of every submission.
+func BenchmarkArrivalGen(b *testing.B) { bench.ArrivalGen(b) }
+
 // BenchmarkDynamicController measures MAPE-K decision overhead.
 func BenchmarkDynamicController(b *testing.B) {
 	c := core.DefaultDynamic().NewController(job.ExecutorInfo{MaxThreads: 32})

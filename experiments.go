@@ -138,6 +138,10 @@ func Experiments() map[string]Experiment {
 			ID: "multitenant", Title: "Concurrent job mixes under FIFO/FAIR (multi-tenancy extension)",
 			Run: func(s Setup) (fmt.Stringer, error) { return exp.MultiTenant(s) },
 		},
+		"autoscale": {
+			ID: "autoscale", Title: "Open-loop arrivals under static vs elastic provisioning (elasticity extension)",
+			Run: func(s Setup) (fmt.Stringer, error) { return exp.Autoscale(s) },
+		},
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"sae/internal/arrival"
 	"sae/internal/device"
 	"sae/internal/psres"
 	"sae/internal/sim"
@@ -23,6 +24,7 @@ func SimSuite() []Benchmark {
 		{Name: "ProcessSwitch", Body: ProcessSwitch},
 		{Name: "ProcessPingPong", Body: ProcessPingPong},
 		{Name: "ProcessorSharing", Body: ProcessorSharing},
+		{Name: "ArrivalGen", Body: ArrivalGen},
 	}
 }
 
@@ -149,6 +151,32 @@ func ProcessPingPong(b *testing.B) {
 	b.ResetTimer()
 	k.Run()
 	reportKernel(b, k)
+}
+
+// ArrivalGen draws a b.N-job open-loop schedule from a bursty process
+// (Lewis–Shedler thinning over a two-class tenant mix) and dispatches every
+// submission through the kernel — the full traffic-generation hot path.
+func ArrivalGen(b *testing.B) {
+	k := sim.NewKernel()
+	spec := arrival.Spec{
+		Proc: arrival.Bursty{OnRate: 1000, OffRate: 100, On: time.Second, Off: time.Second},
+		Classes: []arrival.Class{
+			{Name: "interactive", Weight: 3, Priority: 1},
+			{Name: "batch", Weight: 1},
+		},
+		Seed:    1,
+		Horizon: time.Duration(b.N+1) * time.Second,
+		MaxJobs: b.N,
+	}
+	b.ResetTimer()
+	sched := spec.Generate()
+	submitted := 0
+	arrival.Pump(k, sched, func(arrival.Arrival) { submitted++ })
+	k.Run()
+	reportKernel(b, k)
+	if submitted != len(sched) {
+		b.Fatalf("pumped %d of %d arrivals", submitted, len(sched))
+	}
 }
 
 // ProcessorSharing hammers one HDD-curve server with 64 churning streams —

@@ -8,6 +8,7 @@ import (
 	"sae/internal/cluster"
 	"sae/internal/dfs"
 	"sae/internal/engine/job"
+	"sae/internal/metrics"
 	"sae/internal/psres"
 )
 
@@ -37,6 +38,10 @@ type jobState struct {
 	// running counts the job's in-flight task attempts cluster-wide — the
 	// Fair policy's share measure.
 	running int
+
+	// firstLaunch is when the job's first task attempt left the driver
+	// (-1 until then); firstLaunch − submitAt is the job's queueing delay.
+	firstLaunch time.Duration
 
 	// Per-job fault counters (window-sliced into StageReports).
 	lostExecs     int
@@ -76,6 +81,7 @@ func newJobState(id int, spec *job.JobSpec, submitAt time.Duration) *jobState {
 		children:     make(map[int][]int, len(spec.Stages)),
 		waiting:      make(map[int]int, len(spec.Stages)),
 		stageReports: make([]StageReport, len(spec.Stages)),
+		firstLaunch:  -1,
 	}
 	for _, st := range spec.Stages {
 		js.specs[st.ID] = st
@@ -214,7 +220,6 @@ func (e *Engine) completeStage(ts *taskSet) {
 		}
 	}
 
-	sort.Slice(ts.durations, func(i, j int) bool { return ts.durations[i] < ts.durations[j] })
 	sr := StageReport{
 		ID:                id,
 		Name:              ts.stage.Name,
@@ -228,10 +233,9 @@ func (e *Engine) completeStage(ts *taskSet) {
 		Requeued:          js.requeues - ts.requeue0,
 		RecoveredBytes:    e.shuffle.recoveredBytes(js.id) - ts.recovered0,
 	}
-	if n := len(ts.durations); n > 0 {
-		sr.TaskP50 = ts.durations[n/2]
-		sr.TaskP95 = ts.durations[n*95/100]
-		sr.TaskMax = ts.durations[n-1]
+	if len(ts.durations) > 0 {
+		q := metrics.Quantiles(ts.durations, 0.5, 0.95, 1)
+		sr.TaskP50, sr.TaskP95, sr.TaskMax = q[0], q[1], q[2]
 	}
 	vcores := e.opts.Cluster.CPU.VirtualCores
 	for i, n := range e.cluster.Nodes() {
@@ -279,11 +283,19 @@ func (e *Engine) completeStage(ts *taskSet) {
 // finishJob assembles the job's report and releases its shuffle state.
 func (e *Engine) finishJob(js *jobState) {
 	js.done = true
+	queueDelay := time.Duration(0)
+	if js.firstLaunch >= 0 {
+		queueDelay = js.firstLaunch - js.submitAt
+	}
 	report := &JobReport{
 		ID:                js.id,
 		Job:               js.spec.Name,
 		Policy:            e.opts.Policy.Name(),
 		Sched:             e.sched.policy.Name(),
+		Tenant:            js.spec.Tenant,
+		Priority:          js.spec.Priority,
+		SubmittedAt:       js.submitAt,
+		QueueDelay:        queueDelay,
 		Runtime:           e.k.Now() - js.submitAt,
 		Stages:            js.stageReports,
 		DiskReadBytes:     js.diskReadB,
@@ -306,6 +318,9 @@ func (e *Engine) finishJob(js *jobState) {
 	e.completed++
 	e.trace(TraceEvent{Type: TraceJobEnd, Job: js.id, Stage: -1, Task: -1, Exec: -1, Detail: js.spec.Name})
 	e.wakeDriver()
+	// Draining nodes may have been serving only this job's shuffle output;
+	// with its registrations dropped they can finally decommission.
+	e.auto.flushDrains()
 }
 
 // failJob aborts one job without touching the others: its task sets are

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"sae/internal/chaos"
@@ -84,6 +85,11 @@ type Options struct {
 	// FetchRetryWait is the base backoff between fetch retries, doubled
 	// each retry (0 selects 5s; Spark's spark.shuffle.io.retryWait).
 	FetchRetryWait time.Duration
+	// Autoscale, if set, enables elastic cluster sizing: the engine starts
+	// with AutoscaleConfig.InitialNodes active executors and the policy
+	// grows or shrinks the active set on a planning interval (see
+	// AutoscaleConfig).
+	Autoscale *AutoscaleConfig
 	// Inputs are created in the DFS before the first job starts.
 	Inputs []Input
 	// OnSetup, if set, runs after the engine is assembled and before the
@@ -108,9 +114,15 @@ type Engine struct {
 
 	em    *execManager
 	sched *taskScheduler
+	// auto is the elastic-cluster controller (nil without Options.Autoscale).
+	auto *autoCtl
 
 	jobs      []*jobState
 	completed int
+	// tasksDone counts winning task completions engine-wide — the
+	// cumulative throughput counter the adaptive autoscale policy
+	// differentiates.
+	tasksDone int
 	// fatal aborts every job (e.g. the whole cluster died with no restart
 	// pending); per-job failures live on the jobState instead.
 	fatal   error
@@ -246,8 +258,20 @@ func NewEngine(opts Options) (*Engine, error) {
 			}})
 		})
 	}
+	if opts.Autoscale != nil {
+		auto, err := newAutoCtl(e, *opts.Autoscale)
+		if err != nil {
+			return nil, err
+		}
+		e.auto = auto
+	}
+	// Decommissioned executors (autoscale capacity not yet activated) get no
+	// detector: they are administratively down, not suspiciously silent.
+	// Activation arms theirs through the normal join path.
 	for i := range e.executors {
-		e.em.armDetector(i)
+		if e.em.alive[i] {
+			e.em.armDetector(i)
+		}
 	}
 	if !opts.Faults.Empty() {
 		e.scheduleFaults(opts.Faults)
@@ -295,9 +319,31 @@ func (e *Engine) Wait() error {
 	if len(e.jobs) == 0 {
 		return errors.New("engine: no jobs submitted")
 	}
+	// Admit jobs in batches per distinct submission instant, in submission
+	// order within a batch. Task assignment is deferred until the whole
+	// batch is admitted: with per-job admission the first job's activation
+	// would grab every free slot before the second job's task sets exist,
+	// making same-instant admission FIFO regardless of the policy. One
+	// assignAll after the batch lets Fair actually share the first wave.
+	batches := make(map[time.Duration][]*jobState, len(e.jobs))
+	var instants []time.Duration
 	for _, js := range e.jobs {
-		js := js
-		e.k.At(js.submitAt, func() { e.startJob(js) })
+		if _, ok := batches[js.submitAt]; !ok {
+			instants = append(instants, js.submitAt)
+		}
+		batches[js.submitAt] = append(batches[js.submitAt], js)
+	}
+	sort.Slice(instants, func(i, j int) bool { return instants[i] < instants[j] })
+	for _, at := range instants {
+		batch := batches[at]
+		e.k.At(at, func() {
+			e.sched.deferAssign = true
+			for _, js := range batch {
+				e.startJob(js)
+			}
+			e.sched.deferAssign = false
+			e.sched.assignAll()
+		})
 	}
 	e.k.Go("driver", func(p *sim.Proc) {
 		for e.completed < len(e.jobs) && e.fatal == nil {
@@ -321,6 +367,10 @@ func (e *Engine) Wait() error {
 		e.opts.OnSetup(e)
 	}
 	e.k.Run()
+	if e.auto != nil {
+		// Close the node-seconds integral at the end of virtual time.
+		e.auto.account()
+	}
 	if e.fatal != nil {
 		return e.fatal
 	}

@@ -34,6 +34,13 @@ type execManager struct {
 	// failures; they receive no new work until a crash/restart clears the
 	// flag.
 	blacklisted []bool
+	// admin is the autoscaler's administrative state per executor
+	// (active/draining/down), orthogonal to liveness. Without an
+	// autoscaler every executor stays adminActive for the whole run. Admin
+	// transitions belong to the autoscale controller only — markJoined
+	// deliberately leaves them alone, so a fenced-and-rejoined incarnation
+	// cannot un-drain its node.
+	admin []adminState
 
 	// blacklistAfter is the consecutive-failure threshold (Spark's
 	// spark.blacklist analogue; 0 disables blacklisting).
@@ -69,6 +76,7 @@ func newExecManager(eng *Engine, n, blacklistAfter int) *execManager {
 		failStreak:     make([]int, n),
 		alive:          make([]bool, n),
 		blacklisted:    make([]bool, n),
+		admin:          make([]adminState, n),
 		blacklistAfter: blacklistAfter,
 		lastBeat:       make([]time.Duration, n),
 		suspected:      make([]bool, n),
@@ -162,9 +170,11 @@ func (m *execManager) onLost(i int) {
 	m.eng.toDriver.Send(0, driverMsg{execLost: &execLostMsg{exec: i, epoch: m.epochs[i]}})
 }
 
-// assignable reports whether executor i may receive new tasks.
+// assignable reports whether executor i may receive new tasks. Draining and
+// decommissioned nodes are excluded here — one check covers every
+// assignment path — while their in-flight tasks keep completing normally.
 func (m *execManager) assignable(i int) bool {
-	return m.alive[i] && !m.blacklisted[i] && !m.suspected[i]
+	return m.alive[i] && !m.blacklisted[i] && !m.suspected[i] && m.admin[i] == adminActive
 }
 
 // anyAssignable reports whether any executor can still receive tasks.
@@ -194,11 +204,17 @@ func (m *execManager) launched(i, jobID int) {
 	m.eng.jobs[jobID].running++
 }
 
-// completed records one reported attempt completion from executor i.
+// completed records one reported attempt completion from executor i. A
+// draining node whose last in-flight task just finished has quiesced; the
+// autoscaler is told, and defers the decommission to a same-instant kernel
+// event so it never mutates scheduler state mid-completion-handler.
 func (m *execManager) completed(i, jobID int) {
 	m.inflight[i]--
 	m.inflightJob[i][jobID]--
 	m.eng.jobs[jobID].running--
+	if m.inflight[i] == 0 && m.admin[i] == adminDraining && m.eng.auto != nil {
+		m.eng.auto.drainQuiesced(i)
+	}
 }
 
 // noteFailure advances the executor's failure streak and blacklists it
@@ -224,6 +240,16 @@ func (m *execManager) noteFailure(exec, jobID, stage int) {
 // per-job counts is unordered but commutative, so the resulting state is
 // deterministic.
 func (m *execManager) markLost(exec, epoch int) {
+	if m.eng.auto != nil {
+		// Bill the elapsed interval at the old live count before it drops.
+		m.eng.auto.account()
+		// A node dying mid-drain will never quiesce; it leaves the billed
+		// set now, and its loss (requeue + lineage) is processed by the
+		// caller exactly as for any crash.
+		if m.admin[exec] == adminDraining {
+			m.admin[exec] = adminDown
+		}
+	}
 	m.alive[exec] = false
 	m.epochs[exec] = epoch
 	m.limits[exec] = 0
@@ -242,6 +268,9 @@ func (m *execManager) markLost(exec, epoch int) {
 // markJoined re-admits a restarted (or fenced-and-rejoined) executor with a
 // clean record and a freshly armed failure detector.
 func (m *execManager) markJoined(exec, epoch int) {
+	if m.eng.auto != nil {
+		m.eng.auto.account()
+	}
 	m.alive[exec] = true
 	m.epochs[exec] = epoch
 	m.failStreak[exec] = 0

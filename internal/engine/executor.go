@@ -290,6 +290,32 @@ func (ex *Executor) main(p *sim.Proc) {
 	}
 }
 
+// retireControllers archives every active controller's decision log per job
+// and clears the controller tables — the shared teardown of crashes, fences
+// and decommissions. Fresh controllers arrive with re-sent stages on rejoin.
+func (ex *Executor) retireControllers() {
+	for _, key := range ex.activeKeys {
+		ex.decisionsByJob[key.job] = append(ex.decisionsByJob[key.job], ex.ctrls[key].Decisions()...)
+	}
+	ex.ctrls = make(map[setKey]job.Controller)
+	ex.choice = make(map[setKey]int)
+	ex.stages = make(map[setKey]*job.StageSpec)
+	ex.activeKeys = nil
+}
+
+// shutdown stops the executor process at the current instant: the
+// incarnation epoch bumps (tasks still running become zombies and in-flight
+// control messages go stale on arrival), the local queue drops, and the
+// controllers retire. Shared by chaos crashes and graceful decommission —
+// the difference between the two is entirely driver-side.
+func (ex *Executor) shutdown() {
+	ex.alive = false
+	ex.epoch++
+	ex.queue = nil
+	ex.retireControllers()
+	ex.threadLog = append(ex.threadLog, ThreadChange{At: ex.eng.k.Now(), Stage: ex.curStage, Threads: 0})
+}
+
 // fence makes a still-alive executor that was declared lost adopt a fresh
 // incarnation: its queue is dropped, its controllers retire, and every task
 // still running becomes a zombie whose completion is never reported — the
@@ -298,13 +324,7 @@ func (ex *Executor) main(p *sim.Proc) {
 func (ex *Executor) fence(epoch int) {
 	ex.epoch = epoch
 	ex.queue = nil
-	for _, key := range ex.activeKeys {
-		ex.decisionsByJob[key.job] = append(ex.decisionsByJob[key.job], ex.ctrls[key].Decisions()...)
-	}
-	ex.ctrls = make(map[setKey]job.Controller)
-	ex.choice = make(map[setKey]int)
-	ex.stages = make(map[setKey]*job.StageSpec)
-	ex.activeKeys = nil
+	ex.retireControllers()
 	ex.threadLog = append(ex.threadLog, ThreadChange{At: ex.eng.k.Now(), Stage: ex.curStage, Threads: 0})
 	ex.eng.trace(TraceEvent{Type: TraceExecFence, Job: -1, Stage: ex.curStage, Task: -1, Exec: ex.id,
 		Detail: fmt.Sprintf("epoch %d fenced, rejoining as %d", epoch-1, epoch)})

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"sae/internal/chaos"
-	"sae/internal/engine/job"
 )
 
 // Fault-path errors. Injected transients go through the normal retry path
@@ -102,19 +101,7 @@ func (e *Engine) crashExecutor(i int) {
 	if !ex.alive {
 		return
 	}
-	ex.alive = false
-	ex.epoch++
-	ex.queue = nil
-	// Retire every active controller, archiving their decision logs per
-	// job; the restart's re-sent stages will install fresh ones.
-	for _, key := range ex.activeKeys {
-		ex.decisionsByJob[key.job] = append(ex.decisionsByJob[key.job], ex.ctrls[key].Decisions()...)
-	}
-	ex.ctrls = make(map[setKey]job.Controller)
-	ex.choice = make(map[setKey]int)
-	ex.stages = make(map[setKey]*job.StageSpec)
-	ex.activeKeys = nil
-	ex.threadLog = append(ex.threadLog, ThreadChange{At: e.k.Now(), Stage: ex.curStage, Threads: 0})
+	ex.shutdown()
 	// The node's local shuffle files die with the executor process; DFS
 	// blocks survive (the datanode is a separate process).
 	e.shuffle.removeNode(ex.node.ID)
@@ -130,6 +117,11 @@ func (e *Engine) restartExecutor(i int) {
 	}
 	ex := e.executors[i]
 	if ex.alive {
+		return
+	}
+	if e.em.admin[i] == adminDown {
+		// The autoscaler decommissioned (or never activated) this node; a
+		// chaos restart must not resurrect capacity the scaler handed back.
 		return
 	}
 	ex.alive = true
@@ -150,6 +142,9 @@ func (e *Engine) restartPending() bool {
 		if !e.em.alive[i] && ex.alive {
 			return true
 		}
+	}
+	if e.auto.capacityPending() {
+		return true
 	}
 	plan := e.opts.Faults
 	if plan == nil {

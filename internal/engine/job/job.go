@@ -96,6 +96,12 @@ func (s *StageSpec) Meta() StageMeta {
 type JobSpec struct {
 	Name   string
 	Stages []*StageSpec
+	// Tenant labels the submitting tenant class for per-class SLO
+	// reporting ("" for single-tenant runs).
+	Tenant string
+	// Priority orders the job under priority-aware inter-job policies
+	// (higher is more urgent; ignored by FIFO/FAIR).
+	Priority int
 }
 
 // Validate checks structural invariants: contiguous IDs, positive task

@@ -111,10 +111,20 @@ type JobReport struct {
 	ID int
 	// Job is the job's name; Policy the executor sizing policy; Sched the
 	// inter-job scheduling policy (FIFO/FAIR) the run used.
-	Job     string
-	Policy  string
-	Sched   string
-	Runtime time.Duration
+	Job    string
+	Policy string
+	Sched  string
+	// Tenant is the submitting tenant class ("" for single-tenant runs);
+	// Priority its inter-job priority.
+	Tenant   string
+	Priority int
+	// SubmittedAt is the job's admission instant; Runtime its sojourn time
+	// (submission to completion), the per-tenant SLO latency. QueueDelay is
+	// how long the job waited for its first task launch — the open-loop
+	// queueing delay an overloaded cluster accumulates.
+	SubmittedAt time.Duration
+	QueueDelay  time.Duration
+	Runtime     time.Duration
 	// Stages is indexed by stage ID. Under concurrent stages the
 	// utilization percentages describe the whole cluster during each
 	// stage's window, not that stage's own traffic.
@@ -172,6 +182,10 @@ func (jr *JobReport) String() string {
 	fmt.Fprintf(&b, "%s [%s]: runtime %.1fs, %d stages, %.2f GiB disk I/O\n",
 		jr.Job, jr.Policy, jr.Runtime.Seconds(), len(jr.Stages),
 		float64(jr.TotalIOBytes())/(1<<30))
+	if jr.Tenant != "" {
+		fmt.Fprintf(&b, "  tenant %s: submitted %.1fs, queue delay %.1fs\n",
+			jr.Tenant, jr.SubmittedAt.Seconds(), jr.QueueDelay.Seconds())
+	}
 	for _, st := range jr.Stages {
 		fmt.Fprintf(&b, "  stage %d %-12s %8.1fs  threads %-8s cpu %5.1f%% iowait %5.1f%% disk %5.1f%%\n",
 			st.ID, st.Name, st.Duration().Seconds(), st.ThreadsLabel(),

@@ -30,6 +30,9 @@ type JobSnapshot struct {
 	// Running counts the job's in-flight task attempts across the
 	// cluster — its current share of the executor slots.
 	Running int
+	// Priority is the job's tenant priority (higher is more urgent; only
+	// the Priority policy consults it).
+	Priority int
 }
 
 // InterJobPolicy orders jobs competing for executor slots, like Spark's
@@ -71,6 +74,21 @@ func (Fair) Before(a, b JobSnapshot) bool {
 		return a.Running < b.Running
 	}
 	return a.ID < b.ID
+}
+
+// Priority serves the highest-priority job first (tenant classes carry a
+// priority), falling back to FIFO order within a priority level.
+type Priority struct{}
+
+// Name implements InterJobPolicy.
+func (Priority) Name() string { return "PRIORITY" }
+
+// Before implements InterJobPolicy.
+func (Priority) Before(a, b JobSnapshot) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return FIFO{}.Before(a, b)
 }
 
 // taskSet tracks one set of runnable tasks at the driver: a stage's
@@ -220,6 +238,10 @@ type taskScheduler struct {
 	policy InterJobPolicy
 	// sets holds every running task set, keyed by (job, stage).
 	sets map[setKey]*taskSet
+	// deferAssign suppresses assignAll while a same-instant admission
+	// batch is in progress, so every job in the batch has its task sets
+	// registered before the first slot is offered (see Engine.Wait).
+	deferAssign bool
 }
 
 func newTaskScheduler(eng *Engine, policy InterJobPolicy) *taskScheduler {
@@ -266,7 +288,7 @@ func (s *taskScheduler) activeKeys() []setKey {
 // snapshotJob builds the policy's view of one job.
 func (e *Engine) snapshotJob(id int) JobSnapshot {
 	js := e.jobs[id]
-	return JobSnapshot{ID: id, SubmittedAt: js.submitAt, Running: js.running}
+	return JobSnapshot{ID: id, SubmittedAt: js.submitAt, Running: js.running, Priority: js.spec.Priority}
 }
 
 // handleTaskDone routes a completion to its task set by (job, stage).
@@ -349,6 +371,7 @@ func (s *taskScheduler) handleTaskDone(m *taskDoneMsg) {
 	}
 	ts.taskDone[idx] = true
 	ts.done++
+	e.tasksDone++
 	e.trace(TraceEvent{Type: TraceTaskEnd, Job: m.job, Stage: ts.stage.ID, Task: idx, Exec: m.exec})
 	if !ts.recovery {
 		ts.durations = append(ts.durations, m.metrics.Duration())
@@ -418,6 +441,22 @@ func (s *taskScheduler) processLoss(exec int, reason string) {
 		}
 	}
 
+	s.reclaimNode(exec)
+	if !em.anyAssignable() && !e.restartPending() {
+		e.fatal = fmt.Errorf("all executors lost at %s", e.k.Now())
+		return
+	}
+	s.assignAll()
+}
+
+// reclaimNode repairs every active set after an executor's work and shuffle
+// output left the cluster — by crash, loss declaration or graceful
+// decommission: requeue its in-flight attempts, un-complete tasks whose
+// registered output died with the node, and resubmit lost parent outputs
+// other sets depend on. The caller has already dropped the node from the
+// shuffle registry.
+func (s *taskScheduler) reclaimNode(exec int) {
+	e := s.eng
 	keys := s.activeKeys()
 	for _, key := range keys {
 		ts := s.sets[key]
@@ -448,11 +487,6 @@ func (s *taskScheduler) processLoss(exec int, reason string) {
 			s.ensureParents(ts)
 		}
 	}
-	if !em.anyAssignable() && !e.restartPending() {
-		e.fatal = fmt.Errorf("all executors lost at %s", e.k.Now())
-		return
-	}
-	s.assignAll()
 }
 
 // handleExecJoin re-admits a restarted (or fenced-and-rejoined) executor:
@@ -571,6 +605,9 @@ func (s *taskScheduler) blocked(ts *taskSet) bool {
 }
 
 func (s *taskScheduler) assignAll() {
+	if s.deferAssign {
+		return
+	}
 	for i := range s.eng.executors {
 		s.assign(i)
 	}
@@ -654,6 +691,9 @@ func (s *taskScheduler) launch(ts *taskSet, pick, i int) {
 	task := ts.pending[pick]
 	ts.pending = append(ts.pending[:pick], ts.pending[pick+1:]...)
 	e.em.launched(i, ts.key.job)
+	if ts.js.firstLaunch < 0 {
+		ts.js.firstLaunch = e.k.Now()
+	}
 	ts.copies[task] = append(ts.copies[task], i)
 	if _, seen := ts.launchAt[task]; !seen {
 		ts.launchAt[task] = e.k.Now()

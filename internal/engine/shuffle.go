@@ -99,6 +99,20 @@ func (r *shuffleRegistry) removeNode(node int) {
 	}
 }
 
+// hasOutput reports whether node still holds any valid registered map
+// output. Finished jobs' registrations are dropped (dropJob), so a true
+// result means taking the node away would cost an unfinished job data.
+func (r *shuffleRegistry) hasOutput(node int) bool {
+	for _, outs := range r.outputs {
+		for _, out := range outs {
+			if !out.lost && out.node == node {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // dropJob forgets a finished job's registrations (its shuffle files are
 // cleaned up, as Spark does at application end).
 func (r *shuffleRegistry) dropJob(job int) {

@@ -55,6 +55,13 @@ const (
 	TraceExecSlow    = "exec_slow"
 	TracePartition   = "partition"
 	TraceChecksum    = "checksum"
+	// Elasticity events: the autoscaler provisioning a node (it joins
+	// ProvisionDelay later via exec-join), starting a graceful drain, and
+	// decommissioning the quiesced node. A drain that ends in exec_crash /
+	// exec_lost instead of decommission is a node dying mid-drain.
+	TraceScaleUp      = "scale_up"
+	TraceDrain        = "drain"
+	TraceDecommission = "decommission"
 )
 
 // traceSink serializes events to the configured writer.

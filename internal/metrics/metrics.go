@@ -6,6 +6,8 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 )
 
@@ -65,6 +67,34 @@ func (iv Interval) Merge(other Interval) Interval {
 func (iv Interval) String() string {
 	return fmt.Sprintf("[%v,%v] ε=%v µ=%.1fMB/s ζ=%.4g (%d tasks)",
 		iv.Start, iv.End, iv.BlockedIO, iv.Throughput()/1e6, iv.Congestion(), iv.Tasks)
+}
+
+// Quantiles returns nearest-rank quantiles of vals: for each p in ps the
+// smallest element v such that at least ⌈p·n⌉ values are ≤ v (p clamped to
+// (0, 1]; p = 0.5 is the lower median, p = 1 the maximum). vals is not
+// modified. An empty input yields zeros — callers render "no data" rather
+// than a fabricated percentile. This is the single percentile helper every
+// report uses (stage task durations, per-tenant job latency, queueing
+// delay), so all reported percentiles share one set of semantics.
+func Quantiles(vals []time.Duration, ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(vals) == 0 {
+		return out
+	}
+	sorted := append([]time.Duration(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := len(sorted)
+	for i, p := range ps {
+		if p > 1 {
+			p = 1
+		}
+		rank := int(math.Ceil(p * float64(n)))
+		if rank < 1 {
+			rank = 1
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
 }
 
 // Point is one sample of a time series.

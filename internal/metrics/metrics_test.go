@@ -81,6 +81,59 @@ func TestMergeCommutativeProperty(t *testing.T) {
 	}
 }
 
+func TestQuantilesEmpty(t *testing.T) {
+	got := Quantiles(nil, 0.5, 0.95, 0.99)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("q[%d] = %v, want 0 for empty input", i, v)
+		}
+	}
+}
+
+func TestQuantilesSingle(t *testing.T) {
+	got := Quantiles([]time.Duration{7 * time.Second}, 0.01, 0.5, 0.99, 1)
+	for i, v := range got {
+		if v != 7*time.Second {
+			t.Fatalf("q[%d] = %v, want 7s: every quantile of a singleton is its value", i, v)
+		}
+	}
+}
+
+func TestQuantilesDuplicates(t *testing.T) {
+	vals := []time.Duration{
+		3 * time.Second, 3 * time.Second, 3 * time.Second,
+		3 * time.Second, 9 * time.Second,
+	}
+	got := Quantiles(vals, 0.5, 0.8, 0.95, 1)
+	if got[0] != 3*time.Second || got[1] != 3*time.Second {
+		t.Fatalf("p50/p80 = %v/%v, want 3s/3s", got[0], got[1])
+	}
+	if got[2] != 9*time.Second || got[3] != 9*time.Second {
+		t.Fatalf("p95/max = %v/%v, want 9s/9s", got[2], got[3])
+	}
+}
+
+func TestQuantilesNearestRank(t *testing.T) {
+	// 1s..10s: nearest-rank p50 = ⌈0.5·10⌉ = 5th value, p95 = 10th, p99 = 10th.
+	var vals []time.Duration
+	for i := 10; i >= 1; i-- { // unsorted input: helper must sort a copy
+		vals = append(vals, time.Duration(i)*time.Second)
+	}
+	got := Quantiles(vals, 0.5, 0.95, 0.99, 1)
+	want := []time.Duration{5 * time.Second, 10 * time.Second, 10 * time.Second, 10 * time.Second}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("q[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if vals[0] != 10*time.Second {
+		t.Fatal("Quantiles must not reorder its input")
+	}
+}
+
 func TestSeriesStats(t *testing.T) {
 	var s Series
 	if s.Mean() != 0 || s.Max() != 0 {
