@@ -19,13 +19,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
-	rtrace "runtime/trace"
 	"time"
 
 	"sae"
 	"sae/internal/exp"
+	"sae/internal/prof"
 )
 
 func main() {
@@ -59,39 +57,11 @@ func run(args []string) error {
 		return nil
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		return err
 	}
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := rtrace.Start(f); err != nil {
-			return err
-		}
-		defer rtrace.Stop()
-	}
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			return err
-		}
-		defer func() {
-			runtime.GC()
-			pprof.WriteHeapProfile(f)
-			f.Close()
-		}()
-	}
+	defer func() { _ = stopProf() }()
 
 	setup := sae.DAS5().WithScale(*scale).WithNodes(*nodes)
 	setup.Seed = *seed

@@ -5,6 +5,8 @@
 //
 //	sae-run [-workload terasort] [-policy dynamic] [-threads 8]
 //	        [-scale F] [-nodes N] [-ssd] [-decisions] [-faults SPEC]
+//	        [-trace FILE] [-trace-v2] [-metrics FILE] [-metrics-csv FILE]
+//	        [-prom FILE] [-metrics-interval D]
 //
 // Policies: default | static | dynamic. The static policy uses -threads for
 // I/O-marked stages.
@@ -12,6 +14,19 @@
 // -faults applies a deterministic chaos schedule, e.g. "crash@90s" (kill
 // executor 1 at t=90s), "crash2@2m+30s" (kill executor 2 at 2m, restart 30s
 // later), "flaky:0.02", "fetch:0.1", "mayhem@10m", combined with commas.
+//
+// Observability: -trace writes the engine event log (-trace-v2 switches it
+// to the v2 format with a versioned header and job→stage→task spans);
+// -metrics/-metrics-csv/-prom export the telemetry registry as JSONL or CSV
+// time series and Prometheus text exposition, sampled every
+// -metrics-interval of virtual time. All exports are deterministic:
+// same-seed runs produce byte-identical files. Feed the trace and metrics
+// dump to sae-trace for critical-path and utilization analysis.
+//
+// For performance work, -cpuprofile/-memprofile write pprof CPU and heap
+// profiles and -exectrace a Go execution trace (the runtime kind — the
+// flag sae-exp calls -trace, renamed here because -trace is the engine
+// event log).
 package main
 
 import (
@@ -22,6 +37,8 @@ import (
 
 	"sae"
 	"sae/internal/conf"
+	"sae/internal/prof"
+	"sae/internal/telemetry"
 )
 
 func main() {
@@ -43,10 +60,24 @@ func run(args []string) error {
 	var confFlags multiFlag
 	fs.Var(&confFlags, "conf", "configuration override key=value (repeatable, e.g. -conf speculation=true)")
 	traceFile := fs.String("trace", "", "write the engine event log (JSON lines) to this file")
+	traceV2 := fs.Bool("trace-v2", false, "emit the v2 trace format (versioned header + spans) instead of the legacy flat lines")
+	metricsFile := fs.String("metrics", "", "write the telemetry time-series dump (JSON lines) to this file")
+	metricsCSV := fs.String("metrics-csv", "", "write the telemetry time-series dump as CSV to this file")
+	promFile := fs.String("prom", "", "write end-of-run metrics in Prometheus text exposition to this file")
+	metricsInterval := fs.Duration("metrics-interval", 0, "telemetry sampler period in virtual time (0 selects 5s)")
 	faults := fs.String("faults", "", "chaos schedule, e.g. crash@90s,flaky:0.02 (see chaos.Parse)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	exectrace := fs.String("exectrace", "", "write a Go execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = stopProf() }()
 
 	setup := sae.DAS5().WithScale(*scale).WithNodes(*nodes)
 	if *ssd {
@@ -72,6 +103,15 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		setup.Trace = f
+	}
+	if *traceV2 {
+		setup.TraceFormat = 2
+	}
+	var reg *telemetry.Registry
+	if *metricsFile != "" || *metricsCSV != "" || *promFile != "" {
+		reg = telemetry.NewRegistry()
+		setup.Metrics = reg
+		setup.MetricsInterval = *metricsInterval
 	}
 	if *faults != "" {
 		plan, err := sae.ParseFaults(*faults)
@@ -101,6 +141,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if reg != nil {
+		if err := exportMetrics(reg, *metricsFile, *metricsCSV, *promFile); err != nil {
+			return err
+		}
+	}
 	fmt.Print(rep)
 	if *faults != "" && rep.LostExecutors == 0 && rep.ResubmittedStages == 0 && rep.RecoveredBytes == 0 {
 		// The report prints a faults line itself whenever recovery
@@ -116,6 +161,31 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// exportMetrics writes the run's telemetry registry to the requested files.
+func exportMetrics(reg *telemetry.Registry, jsonl, csv, prom string) error {
+	write := func(path string, dump func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := dump(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(jsonl, func(f *os.File) error { return reg.WriteJSONL(f) }); err != nil {
+		return err
+	}
+	if err := write(csv, func(f *os.File) error { return reg.WriteCSV(f) }); err != nil {
+		return err
+	}
+	return write(prom, func(f *os.File) error { return reg.WritePrometheus(f) })
 }
 
 // multiFlag collects repeated flag values.

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sae"
+	"sae/internal/engine"
+	"sae/internal/telemetry"
+)
+
+func readAnalysis(t *testing.T, r io.Reader) *analysis {
+	t.Helper()
+	_, events, err := engine.ReadTraceWithHeader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analyze(events)
+}
+
+// writeRun executes a small terasort run and writes its trace (and metrics,
+// when reg is non-nil) to files under dir, returning the trace path.
+func writeRun(t *testing.T, dir string, format int, reg *telemetry.Registry) string {
+	t.Helper()
+	setup := sae.DAS5().WithScale(0.01)
+	var buf bytes.Buffer
+	setup.Trace = &buf
+	setup.TraceFormat = format
+	setup.Metrics = reg
+	w, err := sae.WorkloadByName("terasort", sae.WorkloadConfig{Nodes: 4, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sae.Run(setup, w, sae.Adaptive()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "trace.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeV2Trace(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRun(t, dir, 2, nil)
+
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"(v2, flat+spans)",
+		"critical path (job 0 \"terasort\"",
+		"stage gantt",
+		"executor utilization",
+		"stage 0 sample",
+		"exec  0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestAnalyzeV1Trace(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRun(t, dir, 0, nil)
+
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "(v1, flat)") {
+		t.Errorf("v1 trace not recognized:\n%s", got)
+	}
+	if !strings.Contains(got, "critical path") {
+		t.Errorf("no critical path section:\n%s", got)
+	}
+}
+
+func TestCriticalPathSumsToMakespan(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRun(t, dir, 2, nil)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a := readAnalysis(t, f)
+	for _, jt := range a.jobs {
+		perRun, wait := criticalPath(jt)
+		total := wait
+		for _, d := range perRun {
+			total += d
+		}
+		if total != jt.iv.len() {
+			t.Errorf("job %d: critical path sums to %s, makespan %s", jt.id, total, jt.iv.len())
+		}
+	}
+}
+
+func TestMetricsSummary(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	path := writeRun(t, dir, 2, reg)
+	mpath := filepath.Join(dir, "metrics.jsonl")
+	mf, err := os.Create(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSONL(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-metrics", mpath, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"metrics summary",
+		"sae_tasks_done_total",
+		"sae_executor_bytes_total{exec=\"0\"}",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("metrics summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("expected usage error with no arguments")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &out); err == nil {
+		t.Fatal("expected error for missing trace file")
+	}
+}

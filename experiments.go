@@ -202,9 +202,9 @@ type ExperimentResult struct {
 // its own kernel, cluster and engine from the shared (value-typed) Setup, so
 // concurrent runs share no mutable state and the results — returned in the
 // order the IDs were given, regardless of completion order — are identical
-// to a sequential sweep. The one shared sink would be Setup.Trace, so a
-// non-nil Trace forces sequential execution rather than interleaving trace
-// lines from concurrent runs.
+// to a sequential sweep. The shared sinks would be Setup.Trace and
+// Setup.Metrics, so a non-nil Trace or Metrics forces sequential execution
+// rather than interleaving output from concurrent runs.
 func RunExperiments(ids []string, s Setup, parallel int) ([]ExperimentResult, error) {
 	exps := Experiments()
 	tasks := make([]exp.Task, len(ids))
@@ -216,7 +216,7 @@ func RunExperiments(ids []string, s Setup, parallel int) ([]ExperimentResult, er
 		run := e.Run
 		tasks[i] = exp.Task{ID: id, Run: func() (fmt.Stringer, error) { return run(s) }}
 	}
-	if s.Trace != nil {
+	if s.Trace != nil || s.Metrics != nil {
 		parallel = 1
 	}
 	rs := exp.RunParallel(parallel, tasks)

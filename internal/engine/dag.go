@@ -119,6 +119,7 @@ func (js *jobState) roots() []int {
 // every stage's task count up front, then activate the DAG's root stages.
 func (e *Engine) startJob(js *jobState) {
 	js.started = true
+	e.tel.registerJob(js)
 	e.trace(TraceEvent{Type: TraceJobStart, Job: js.id, Stage: -1, Task: -1, Exec: -1, Detail: js.spec.Name})
 	for _, st := range js.spec.Stages {
 		if err := e.resolveTasks(st); err != nil {

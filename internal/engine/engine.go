@@ -21,6 +21,7 @@ import (
 	"sae/internal/dfs"
 	"sae/internal/engine/job"
 	"sae/internal/sim"
+	"sae/internal/telemetry"
 )
 
 // Input declares a pre-loaded DFS input file.
@@ -98,6 +99,20 @@ type Options struct {
 	// Trace, if set, receives the engine's event log as JSON lines (the
 	// Spark event-log analogue; see TraceEvent and ReadTrace).
 	Trace io.Writer
+	// TraceFormat selects the event-log encoding: 0 or 1 emits the legacy
+	// flat v1 lines, byte-identical to earlier releases; 2 prefixes a
+	// versioned TraceHeader, omits non-applicable fields instead of
+	// writing -1/0 sentinels, and threads job→stage→task-attempt span IDs
+	// through the events. ReadTrace decodes both.
+	TraceFormat int
+	// Metrics, if set, attaches the deterministic telemetry plane: the
+	// engine registers its instruments (scheduler queues, executor pools,
+	// ζ/ε, failure detector, autoscaler) in the registry and samples them
+	// every MetricsInterval on the sim clock, so same-seed runs export
+	// byte-identical series (see telemetry.Registry's exporters).
+	Metrics *telemetry.Registry
+	// MetricsInterval is the sampler period (0 selects 5s).
+	MetricsInterval time.Duration
 }
 
 // Engine wires the simulated cluster, DFS, shuffle registry and executors,
@@ -111,6 +126,9 @@ type Engine struct {
 	executors []*Executor
 	toDriver  *sim.Mailbox[driverMsg]
 	sink      *traceSink
+	// tel is the telemetry instrumentation (nil without Options.Metrics;
+	// every hook is nil-safe so the default path stays untouched).
+	tel *engineTelemetry
 
 	em    *execManager
 	sched *taskScheduler
@@ -198,6 +216,9 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.FetchRetryWait <= 0 {
 		opts.FetchRetryWait = 5 * time.Second
 	}
+	if opts.MetricsInterval <= 0 {
+		opts.MetricsInterval = 5 * time.Second
+	}
 
 	k := sim.NewKernel()
 	e := &Engine{
@@ -207,7 +228,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		shuffle:  newShuffleRegistry(),
 		toDriver: sim.NewMailbox[driverMsg](k),
 	}
-	e.sink = newTraceSink(opts.Trace)
+	e.sink = newTraceSink(opts.Trace, opts.TraceFormat)
 	e.fs = dfs.New(e.cluster, opts.BlockSize)
 	for _, in := range opts.Inputs {
 		if _, err := e.fs.Create(in.Name, in.Size, opts.Replication); err != nil {
@@ -272,6 +293,12 @@ func NewEngine(opts Options) (*Engine, error) {
 		if e.em.alive[i] {
 			e.em.armDetector(i)
 		}
+	}
+	if opts.Metrics != nil {
+		// After the autoscaler exists (its gauges read it) and before any
+		// event can fire, so the t=0 baseline sample sees assembled state.
+		e.tel = newEngineTelemetry(e)
+		e.tel.arm()
 	}
 	if !opts.Faults.Empty() {
 		e.scheduleFaults(opts.Faults)
@@ -370,6 +397,11 @@ func (e *Engine) Wait() error {
 	if e.auto != nil {
 		// Close the node-seconds integral at the end of virtual time.
 		e.auto.account()
+	}
+	if e.tel != nil {
+		// Capture the end-of-run state; if the last sampler tick landed on
+		// this instant the registry merges last-wins instead of duplicating.
+		e.tel.reg.Sample(e.k.Now())
 	}
 	if e.fatal != nil {
 		return e.fatal

@@ -64,9 +64,13 @@ type Executor struct {
 	// ends and crashes) per job, in chronological order.
 	decisionsByJob map[int][]job.Decision
 
-	threadLog  []ThreadChange
-	cumBytes   int64
-	totalTasks int
+	threadLog []ThreadChange
+	cumBytes  int64
+	// cumBlockedIO is the cumulative ε across the executor's reported
+	// attempts — the numerator the telemetry plane's windowed ζ gauge
+	// differentiates.
+	cumBlockedIO time.Duration
+	totalTasks   int
 }
 
 // execMsg is a driver→executor control message (exactly one field set).
@@ -469,6 +473,7 @@ func (ex *Executor) start(lm *launchMsg) {
 		}
 		ex.totalTasks++
 		ex.cumBytes += tm.BytesMoved
+		ex.cumBlockedIO += tm.BlockedIO
 
 		// Failed attempts carry no usable monitor signal; only
 		// successful completions of a stage with a live controller feed

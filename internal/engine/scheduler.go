@@ -316,6 +316,7 @@ func (s *taskScheduler) handleTaskDone(m *taskDoneMsg) {
 		js.netB += m.metrics.NetBytes
 		js.fetchRetries += m.metrics.FetchRetries
 		js.checksumFailovers += m.metrics.ChecksumFailovers
+		e.tel.onTaskMetrics(m.metrics)
 	}
 	ts := s.sets[setKey{job: m.job, stage: m.metrics.Stage}]
 	if ts == nil {
@@ -604,6 +605,19 @@ func (s *taskScheduler) blocked(ts *taskSet) bool {
 	return len(ts.stage.ShuffleFrom) > 0 && s.eng.shuffle.missing(ts.key.job, ts.stage.ShuffleFrom)
 }
 
+// pendingTotal sums queued task attempts across active sets — for one job,
+// or engine-wide with job < 0 (the autoscaler's backlog gauge). Sets are
+// read from the map directly: a sum is iteration-order independent.
+func (s *taskScheduler) pendingTotal(job int) int {
+	n := 0
+	for key, ts := range s.sets {
+		if job < 0 || key.job == job {
+			n += len(ts.pending)
+		}
+	}
+	return n
+}
+
 func (s *taskScheduler) assignAll() {
 	if s.deferAssign {
 		return
@@ -622,6 +636,7 @@ func (s *taskScheduler) assign(i int) {
 	if !em.assignable(i) {
 		return
 	}
+	s.eng.tel.onSlotOffer()
 	for em.inflight[i] < em.limits[i] {
 		ts, pick := s.pickTask(i)
 		if ts == nil {
@@ -693,10 +708,14 @@ func (s *taskScheduler) launch(ts *taskSet, pick, i int) {
 	e.em.launched(i, ts.key.job)
 	if ts.js.firstLaunch < 0 {
 		ts.js.firstLaunch = e.k.Now()
+		e.tel.onJobLaunched(e.k.Now() - ts.js.submitAt)
 	}
 	ts.copies[task] = append(ts.copies[task], i)
 	if _, seen := ts.launchAt[task]; !seen {
 		ts.launchAt[task] = e.k.Now()
+		if !ts.recovery {
+			e.tel.onTaskQueued(e.k.Now() - ts.start)
+		}
 	}
 	ts.lastExec[task] = i
 	detail := ""

@@ -84,6 +84,17 @@ func (r *shuffleRegistry) totalBytes(key setKey) int64 {
 	return total
 }
 
+// registeredBytes returns the currently-valid shuffle output registered
+// across every task set — the telemetry plane's cluster-wide shuffle gauge.
+// The sum is iteration-order independent, so ranging the map is safe.
+func (r *shuffleRegistry) registeredBytes() int64 {
+	var total int64
+	for key := range r.outputs {
+		total += r.totalBytes(key)
+	}
+	return total
+}
+
 // removeNode invalidates every registered map output on node (the node's
 // executor crashed, taking its local shuffle files with it) and bumps the
 // node's generation so outstanding fetch plans go stale.

@@ -22,8 +22,14 @@ type TraceEvent struct {
 	// Exec is the executor ID (-1 when not applicable).
 	Exec int `json:"exec"`
 	// Threads is the pool size for resize events (0 otherwise).
-	Threads int    `json:"threads"`
-	Detail  string `json:"detail,omitempty"`
+	Threads int `json:"threads"`
+	// Span and Parent are the event's span ID and its parent's — populated
+	// only in v2 traces (see TraceFormat), 0 otherwise. Starts and ends of
+	// the same job/stage/task attempt share one span ID; task spans parent
+	// to their stage span, stage spans to their job span.
+	Span   int64  `json:"span,omitempty"`
+	Parent int64  `json:"parent,omitempty"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // Trace event types.
@@ -64,17 +70,29 @@ const (
 	TraceDecommission = "decommission"
 )
 
-// traceSink serializes events to the configured writer.
+// traceSink serializes events to the configured writer. The v1 format
+// (TraceFormat <= 1) is the legacy flat encoding, kept byte-identical so
+// existing readers and golden traces keep working; v2 prefixes a versioned
+// header, encodes sentinels consistently (absent fields are omitted rather
+// than written as -1/0) and threads span IDs through the events.
 type traceSink struct {
-	enc *json.Encoder
-	err error
+	enc   *json.Encoder
+	err   error
+	v2    bool
+	wrote bool
+	spans *spanTracker
 }
 
-func newTraceSink(w io.Writer) *traceSink {
+func newTraceSink(w io.Writer, format int) *traceSink {
 	if w == nil {
 		return nil
 	}
-	return &traceSink{enc: json.NewEncoder(w)}
+	t := &traceSink{enc: json.NewEncoder(w)}
+	if format >= 2 {
+		t.v2 = true
+		t.spans = newSpanTracker()
+	}
+	return t
 }
 
 // emit writes one event; encoding errors are remembered and surfaced once
@@ -83,7 +101,18 @@ func (t *traceSink) emit(ev TraceEvent) {
 	if t == nil || t.err != nil {
 		return
 	}
-	t.err = t.enc.Encode(ev)
+	if !t.v2 {
+		t.err = t.enc.Encode(ev)
+		return
+	}
+	if !t.wrote {
+		t.wrote = true
+		if t.err = t.enc.Encode(newTraceHeader()); t.err != nil {
+			return
+		}
+	}
+	t.spans.annotate(&ev)
+	t.err = t.enc.Encode(encodeV2(ev))
 }
 
 func (t *traceSink) flushErr() error {
@@ -93,8 +122,10 @@ func (t *traceSink) flushErr() error {
 	return fmt.Errorf("engine: trace log: %w", t.err)
 }
 
-// trace emits an event if tracing is enabled.
+// trace emits an event if tracing is enabled, and mirrors it into the
+// telemetry event counters if a metrics registry is attached.
 func (e *Engine) trace(ev TraceEvent) {
+	e.tel.onEvent(ev.Type)
 	if e.sink == nil {
 		return
 	}
@@ -102,16 +133,10 @@ func (e *Engine) trace(ev TraceEvent) {
 	e.sink.emit(ev)
 }
 
-// ReadTrace decodes a trace log produced via Options.Trace.
+// ReadTrace decodes a trace log produced via Options.Trace, accepting both
+// the legacy flat v1 format and v2 logs with a header (the header line is
+// skipped; see ReadTraceWithHeader to inspect it).
 func ReadTrace(r io.Reader) ([]TraceEvent, error) {
-	dec := json.NewDecoder(r)
-	var out []TraceEvent
-	for dec.More() {
-		var ev TraceEvent
-		if err := dec.Decode(&ev); err != nil {
-			return out, fmt.Errorf("engine: decode trace: %w", err)
-		}
-		out = append(out, ev)
-	}
-	return out, nil
+	_, evs, err := ReadTraceWithHeader(r)
+	return evs, err
 }

@@ -205,12 +205,15 @@ func (s Setup) runAutoscale(scenario, config string, policy autoscale.Policy,
 		}
 	}
 	opts := engine.Options{
-		Cluster:   big.clusterConfig(),
-		BlockSize: 64 * device.MiB,
-		Policy:    core.Default{},
-		JobPolicy: engine.Fair{},
-		Inputs:    inputs,
-		Trace:     s.Trace,
+		Cluster:         big.clusterConfig(),
+		BlockSize:       64 * device.MiB,
+		Policy:          core.Default{},
+		JobPolicy:       engine.Fair{},
+		Inputs:          inputs,
+		Trace:           s.Trace,
+		TraceFormat:     s.TraceFormat,
+		Metrics:         s.Metrics,
+		MetricsInterval: s.MetricsInterval,
 		Autoscale: &engine.AutoscaleConfig{
 			Policy:            policy,
 			Interval:          10 * time.Second,

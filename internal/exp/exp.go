@@ -15,6 +15,7 @@ import (
 	"sae/internal/device"
 	"sae/internal/engine"
 	"sae/internal/engine/job"
+	"sae/internal/telemetry"
 	"sae/internal/workloads"
 )
 
@@ -36,6 +37,17 @@ type Setup struct {
 	Faults *chaos.Plan
 	// Trace, if set, receives the engine event log of every run.
 	Trace io.Writer
+	// TraceFormat selects the event-log encoding (see
+	// engine.Options.TraceFormat; 2 adds the versioned header and spans).
+	TraceFormat int
+	// Metrics, if set, attaches the telemetry registry to every run. A
+	// registry accumulates one run's series, so sweeps that build many
+	// engines from one Setup should leave it nil and single-run callers
+	// (sae-run, tests) set it; a non-nil registry forces sequential
+	// experiment execution, like Trace.
+	Metrics *telemetry.Registry
+	// MetricsInterval is the telemetry sampler period (0 selects 5s).
+	MetricsInterval time.Duration
 }
 
 // Default returns the paper's 4-node HDD environment.
@@ -81,13 +93,16 @@ func (s Setup) clusterConfig() cluster.Config {
 // Run executes one workload under one policy and returns the engine report.
 func (s Setup) Run(w *workloads.Spec, policy job.Policy, onSetup func(*engine.Engine)) (*engine.JobReport, error) {
 	opts := engine.Options{
-		Cluster:   s.clusterConfig(),
-		BlockSize: w.BlockSize,
-		Policy:    policy,
-		Faults:    s.Faults,
-		Inputs:    w.Inputs,
-		OnSetup:   onSetup,
-		Trace:     s.Trace,
+		Cluster:         s.clusterConfig(),
+		BlockSize:       w.BlockSize,
+		Policy:          policy,
+		Faults:          s.Faults,
+		Inputs:          w.Inputs,
+		OnSetup:         onSetup,
+		Trace:           s.Trace,
+		TraceFormat:     s.TraceFormat,
+		Metrics:         s.Metrics,
+		MetricsInterval: s.MetricsInterval,
 	}
 	if s.Config != nil {
 		if err := engine.ApplyConfig(&opts, s.Config); err != nil {

@@ -8,9 +8,9 @@ import (
 	"sae/internal/cluster"
 	"sae/internal/conf"
 	"sae/internal/core"
-	"sae/internal/engine"
 	"sae/internal/metrics"
 	"sae/internal/sim"
+	"sae/internal/telemetry"
 	"sae/internal/workloads"
 )
 
@@ -632,22 +632,21 @@ func Figure12(s Setup) (*Figure12Result, error) {
 			}
 		}
 		for _, th := range SweepThreads {
-			cum := metrics.Series{Name: fmt.Sprintf("%s-%d", disk.name, th)}
-			rep, err := disk.setup.Run(
-				workloads.Terasort(disk.setup.workloadConfig()),
-				core.Static{IOThreads: th},
-				func(e *engine.Engine) {
-					exec0 := e.Executors()[0]
-					e.Kernel().Go("sampler", func(p *sim.Proc) {
-						for !e.Done() {
-							cum.Add(p.Now(), float64(exec0.CumulativeBytes()))
-							p.Sleep(time.Second)
-						}
-					})
-				})
+			// The telemetry plane replaces the old ad-hoc sampler process:
+			// the engine's registry samples executor 0's cumulative byte
+			// counter once per virtual second (t=0 baseline included), and
+			// the registry series differentiates into the Fig. 12 rate.
+			run := disk.setup
+			run.Metrics = telemetry.NewRegistry()
+			run.MetricsInterval = time.Second
+			rep, err := run.Run(
+				workloads.Terasort(run.workloadConfig()),
+				core.Static{IOThreads: th}, nil)
 			if err != nil {
 				return nil, fmt.Errorf("figure12 %s %d threads: %w", disk.name, th, err)
 			}
+			cum, _ := run.Metrics.Series("sae_executor_bytes_total", "exec", "0")
+			cum.Name = fmt.Sprintf("%s-%d", disk.name, th)
 			rate := metrics.Rate(cum)
 			for _, stage := range []int{0, 1} {
 				st := rep.Stages[stage]

@@ -29,13 +29,16 @@ func (s Setup) RunMulti(ws []*workloads.Spec, policy job.Policy, jobPolicy engin
 		}
 	}
 	opts := engine.Options{
-		Cluster:   s.clusterConfig(),
-		BlockSize: ws[0].BlockSize,
-		Policy:    policy,
-		JobPolicy: jobPolicy,
-		Faults:    s.Faults,
-		Inputs:    inputs,
-		Trace:     s.Trace,
+		Cluster:         s.clusterConfig(),
+		BlockSize:       ws[0].BlockSize,
+		Policy:          policy,
+		JobPolicy:       jobPolicy,
+		Faults:          s.Faults,
+		Inputs:          inputs,
+		Trace:           s.Trace,
+		TraceFormat:     s.TraceFormat,
+		Metrics:         s.Metrics,
+		MetricsInterval: s.MetricsInterval,
 	}
 	if s.Config != nil {
 		if err := engine.ApplyConfig(&opts, s.Config); err != nil {

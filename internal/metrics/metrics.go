@@ -138,15 +138,28 @@ func (s *Series) Max() float64 {
 }
 
 // Rate converts a series of cumulative counters into a series of per-sample
-// rates (units/second).
+// rates (units/second). Duplicate timestamps merge last-wins before rates
+// are computed: re-sampling the same instant is a correction of that
+// sample (e.g. a final end-of-run capture landing on a sampler tick), not
+// a zero-length interval — so the later value replaces the earlier one
+// instead of being dropped silently. Samples whose timestamp goes
+// backwards carry no usable interval and are discarded.
 func Rate(cum Series) Series {
-	out := Series{Name: cum.Name}
-	for i := 1; i < len(cum.Points); i++ {
-		dt := (cum.Points[i].At - cum.Points[i-1].At).Seconds()
-		if dt <= 0 {
-			continue
+	merged := make([]Point, 0, len(cum.Points))
+	for _, p := range cum.Points {
+		switch n := len(merged); {
+		case n > 0 && p.At == merged[n-1].At:
+			merged[n-1].Value = p.Value
+		case n > 0 && p.At < merged[n-1].At:
+			// out-of-order sample: dropped
+		default:
+			merged = append(merged, p)
 		}
-		out.Add(cum.Points[i].At, (cum.Points[i].Value-cum.Points[i-1].Value)/dt)
+	}
+	out := Series{Name: cum.Name}
+	for i := 1; i < len(merged); i++ {
+		dt := (merged[i].At - merged[i-1].At).Seconds()
+		out.Add(merged[i].At, (merged[i].Value-merged[i-1].Value)/dt)
 	}
 	return out
 }

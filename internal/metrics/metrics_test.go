@@ -167,14 +167,84 @@ func TestRate(t *testing.T) {
 	}
 }
 
-func TestRateSkipsZeroDt(t *testing.T) {
+func TestRateDuplicateTimestampMergesLastWins(t *testing.T) {
 	var cum Series
 	cum.Add(time.Second, 1)
-	cum.Add(time.Second, 2)
+	cum.Add(time.Second, 2) // correction of the 1s sample: last wins
 	cum.Add(2*time.Second, 3)
 	r := Rate(cum)
 	if len(r.Points) != 1 {
-		t.Fatalf("rate points = %d, want 1 (zero-dt sample dropped)", len(r.Points))
+		t.Fatalf("rate points = %d, want 1 (duplicate timestamp merged)", len(r.Points))
+	}
+	if r.Points[0].At != 2*time.Second || r.Points[0].Value != 1 {
+		t.Fatalf("rate = %+v, want (2s, (3-2)/1s)", r.Points[0])
+	}
+	// A trailing duplicate replaces the final sample.
+	cum.Add(2*time.Second, 5)
+	r = Rate(cum)
+	if len(r.Points) != 1 || r.Points[0].Value != 3 {
+		t.Fatalf("rate after trailing correction = %+v, want value 3", r.Points)
+	}
+}
+
+func TestRateDropsBackwardsSamples(t *testing.T) {
+	var cum Series
+	cum.Add(2*time.Second, 10)
+	cum.Add(time.Second, 0) // time went backwards: no usable interval
+	cum.Add(4*time.Second, 14)
+	r := Rate(cum)
+	if len(r.Points) != 1 {
+		t.Fatalf("rate points = %d, want 1", len(r.Points))
+	}
+	if r.Points[0].Value != 2 {
+		t.Fatalf("rate = %v, want (14-10)/2s = 2", r.Points[0].Value)
+	}
+}
+
+func TestRateEmptyAndSingle(t *testing.T) {
+	if r := Rate(Series{}); len(r.Points) != 0 {
+		t.Fatalf("empty series rate = %+v", r.Points)
+	}
+	var one Series
+	one.Add(time.Second, 5)
+	if r := Rate(one); len(r.Points) != 0 {
+		t.Fatalf("single-sample rate = %+v", r.Points)
+	}
+}
+
+func TestQuantilesClampAndEdges(t *testing.T) {
+	vals := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	// p <= 0 clamps to the minimum (rank 1); p > 1 clamps to the maximum.
+	got := Quantiles(vals, -0.5, 0, 1.7)
+	if got[0] != time.Second || got[1] != time.Second {
+		t.Fatalf("p<=0 should clamp to the minimum: got %v", got[:2])
+	}
+	if got[2] != 3*time.Second {
+		t.Fatalf("p>1 should clamp to the maximum: got %v", got[2])
+	}
+	if vals[0] != 3*time.Second {
+		t.Fatal("Quantiles must not reorder its input")
+	}
+}
+
+func TestQuantilesDuplicateValues(t *testing.T) {
+	vals := []time.Duration{time.Second, time.Second, time.Second, 5 * time.Second}
+	got := Quantiles(vals, 0.5, 0.75, 1)
+	if got[0] != time.Second || got[1] != time.Second {
+		t.Fatalf("duplicate-heavy quantiles = %v", got)
+	}
+	if got[2] != 5*time.Second {
+		t.Fatalf("max = %v, want 5s", got[2])
+	}
+}
+
+func TestQuantilesSingleElement(t *testing.T) {
+	vals := []time.Duration{7 * time.Second}
+	got := Quantiles(vals, 0.01, 0.5, 1)
+	for i, q := range got {
+		if q != 7*time.Second {
+			t.Fatalf("quantile %d = %v, want 7s for a single element", i, q)
+		}
 	}
 }
 

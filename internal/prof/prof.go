@@ -1,0 +1,83 @@
+// Package prof is the one place the CLI binaries set up their pprof and
+// execution-trace flags, so sae-exp and sae-run share identical profiling
+// behavior instead of duplicating the boilerplate.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Start enables the requested profiles; an empty path skips that profile.
+// It returns a stop function that flushes and closes everything started —
+// call it exactly once (typically deferred), even on error paths, so CPU
+// profiles and execution traces end cleanly. The heap profile is written at
+// stop time, after a GC, matching the usual -memprofile semantics.
+func Start(cpuFile, memFile, traceFile string) (stop func() error, err error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]() //nolint:errcheck // best-effort unwind
+		}
+		return nil, err
+	}
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("execution trace: %w", err))
+		}
+		stops = append(stops, func() error {
+			rtrace.Stop()
+			return f.Close()
+		})
+	}
+	if memFile != "" {
+		f, err := os.Create(memFile)
+		if err != nil {
+			return fail(err)
+		}
+		stops = append(stops, func() error {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

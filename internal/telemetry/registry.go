@@ -1,0 +1,309 @@
+// Package telemetry is the simulator's deterministic metrics plane: a
+// registry of counters, gauges and histograms sampled on the virtual clock
+// and exported as Prometheus text exposition or JSONL/CSV time series.
+//
+// Determinism is the design constraint everything else follows from. The
+// sampler runs on the sim clock (the engine drives Registry.Sample from a
+// kernel timer), instruments are iterated in sorted (name, labels) order,
+// and floats are formatted with strconv's shortest round-trip form — so two
+// same-seed runs export byte-identical dumps, and a parallel sweep exports
+// the same bytes as a sequential one. The registry is not safe for
+// concurrent use; one engine owns one registry, exactly like its kernel.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sae/internal/metrics"
+)
+
+// MetricType distinguishes the exposition families.
+type MetricType int
+
+// Metric families, matching the Prometheus exposition TYPE names.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// SamplePoint is one exported time-series sample: the value of one
+// instrument at one sampler tick.
+type SamplePoint struct {
+	At     time.Duration
+	Metric string
+	// Labels is the instrument's rendered label set (`exec="0"`), empty
+	// for unlabelled instruments.
+	Labels string
+	Value  float64
+}
+
+// family is one metric name: its metadata plus one instrument per label set.
+type family struct {
+	name, help string
+	typ        MetricType
+	insts      map[string]*instrument
+}
+
+func (f *family) sortedKeys() []string {
+	keys := make([]string, 0, len(f.insts))
+	for k := range f.insts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// instrument is the shared state behind Counter/Gauge/Histogram handles.
+type instrument struct {
+	labels string
+	val    float64
+	fn     func() float64
+	// histogram state: counts[i] observes bucket (buckets[i-1], buckets[i]];
+	// the last slot is the +Inf overflow bucket.
+	buckets []float64
+	counts  []uint64
+	sum     float64
+	count   uint64
+}
+
+// scalar returns the instrument's current value (function-backed
+// instruments are evaluated on each call).
+func (in *instrument) scalar() float64 {
+	if in.fn != nil {
+		return in.fn()
+	}
+	return in.val
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ in *instrument }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.in.val++ }
+
+// Add adds v (callers keep counters monotone; Add does not check).
+func (c *Counter) Add(v float64) { c.in.val += v }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.in.scalar() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ in *instrument }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.in.val = v }
+
+// Add shifts the gauge value by v.
+func (g *Gauge) Add(v float64) { g.in.val += v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.in.scalar() }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct{ in *instrument }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	in := h.in
+	idx := sort.SearchFloat64s(in.buckets, v)
+	in.counts[idx]++
+	in.sum += v
+	in.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.in.count }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.in.sum }
+
+// Registry holds every instrument of one run plus the samples the periodic
+// sampler collected. Instruments register lazily and idempotently:
+// re-registering the same (name, labels) returns the existing instrument,
+// so call sites do not need to coordinate.
+type Registry struct {
+	families map[string]*family
+	hooks    []func(at time.Duration)
+	samples  []SamplePoint
+	// lastAt/lastStart implement merge-last-wins for duplicate sampler
+	// ticks (matching metrics.Rate): re-sampling the same instant
+	// replaces that tick's rows instead of duplicating them.
+	lastAt    time.Duration
+	lastStart int
+	sampled   bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelString renders key-value pairs as a canonical `k1="v1",k2="v2"`
+// string with keys sorted, so the same label set always maps to the same
+// instrument and export position.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}
+
+func (r *Registry) instrument(name, help string, typ MetricType, labels []string) *instrument {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, insts: map[string]*instrument{}}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: %s registered as %s and %s", name, f.typ, typ))
+	}
+	ls := labelString(labels)
+	in, ok := f.insts[ls]
+	if !ok {
+		in = &instrument{labels: ls}
+		f.insts[ls] = in
+	}
+	return in
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return &Counter{r.instrument(name, help, TypeCounter, labels)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at sample and
+// export time — for cumulative totals the engine already tracks.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.instrument(name, help, TypeCounter, labels).fn = fn
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return &Gauge{r.instrument(name, help, TypeGauge, labels)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at sample and
+// export time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.instrument(name, help, TypeGauge, labels).fn = fn
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// upper bucket bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	in := r.instrument(name, help, TypeHistogram, labels)
+	if in.counts == nil {
+		in.buckets = append([]float64(nil), buckets...)
+		in.counts = make([]uint64, len(buckets)+1)
+	}
+	return &Histogram{in}
+}
+
+// OnSample registers a hook invoked at the start of every Sample tick —
+// used for derived gauges that need windowed deltas (e.g. ζ over the last
+// sampling interval). Hooks run in registration order.
+func (r *Registry) OnSample(fn func(at time.Duration)) {
+	r.hooks = append(r.hooks, fn)
+}
+
+func (r *Registry) sortedNames() []string {
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Sample records one SamplePoint per scalar series (histograms contribute
+// their _count and _sum) at the given virtual time. Sampling the same
+// instant twice merges last-wins: the second tick replaces the first's
+// rows, mirroring metrics.Rate's duplicate-timestamp rule.
+func (r *Registry) Sample(at time.Duration) {
+	for _, h := range r.hooks {
+		h(at)
+	}
+	if r.sampled && at == r.lastAt {
+		r.samples = r.samples[:r.lastStart]
+	}
+	r.lastAt = at
+	r.lastStart = len(r.samples)
+	r.sampled = true
+	for _, name := range r.sortedNames() {
+		f := r.families[name]
+		for _, ls := range f.sortedKeys() {
+			in := f.insts[ls]
+			if f.typ == TypeHistogram {
+				r.samples = append(r.samples,
+					SamplePoint{At: at, Metric: name + "_count", Labels: ls, Value: float64(in.count)},
+					SamplePoint{At: at, Metric: name + "_sum", Labels: ls, Value: in.sum})
+				continue
+			}
+			r.samples = append(r.samples, SamplePoint{At: at, Metric: name, Labels: ls, Value: in.scalar()})
+		}
+	}
+}
+
+// Samples returns every collected sample in recording order.
+func (r *Registry) Samples() []SamplePoint { return r.samples }
+
+// Series extracts one instrument's sampled values as a metrics.Series
+// (named after the metric), reporting whether any samples exist.
+func (r *Registry) Series(name string, labels ...string) (metrics.Series, bool) {
+	ls := labelString(labels)
+	out := metrics.Series{Name: name}
+	for _, sp := range r.samples {
+		if sp.Metric == name && sp.Labels == ls {
+			out.Add(sp.At, sp.Value)
+		}
+	}
+	return out, len(out.Points) > 0
+}
+
+// Value returns an instrument's current scalar value, reporting whether
+// the (name, labels) pair is registered. Histograms report their count.
+func (r *Registry) Value(name string, labels ...string) (float64, bool) {
+	f, ok := r.families[name]
+	if !ok {
+		return 0, false
+	}
+	in, ok := f.insts[labelString(labels)]
+	if !ok {
+		return 0, false
+	}
+	if f.typ == TypeHistogram {
+		return float64(in.count), true
+	}
+	return in.scalar(), true
+}
