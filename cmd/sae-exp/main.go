@@ -2,13 +2,22 @@
 //
 // Usage:
 //
-//	sae-exp [-scale F] [-nodes N] [-ssd] [-seed S] [-parallel N] [experiment ...]
+//	sae-exp [-scale F] [-nodes N] [-ssd] [-seed S] [-parallel N]
+//	        [-scenario FILE]... [experiment ...]
 //
 // With no arguments it runs every experiment in order. Valid experiment IDs
 // are table1, table2 and fig1 … fig12 plus the extension experiments
-// (sae-exp -list). -parallel N fans the sweep out over N worker goroutines;
+// (sae-exp -list, which also enumerates the committed scenarios/*.yaml
+// specs). -parallel N fans the sweep out over N worker goroutines;
 // each run owns its own simulation kernel, and results are printed in
 // submission order, so the output is identical to a sequential sweep.
+//
+// -scenario (repeatable) appends declarative scenario specs to the sweep;
+// they run through the same worker pool and -csv export as the built-in
+// experiments. The spec's cluster block supplies scale/nodes/seed; -scale,
+// -nodes and -seed override it only when given explicitly on the command
+// line, so `sae-exp -scale 0.05 -seed 7 -scenario scenarios/autoscale.yaml`
+// is byte-identical to `sae-exp -scale 0.05 -seed 7 autoscale`.
 //
 // For performance work, -cpuprofile/-memprofile/-trace write pprof CPU and
 // heap profiles and a Go execution trace covering the whole sweep.
@@ -19,11 +28,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"sae"
 	"sae/internal/exp"
 	"sae/internal/prof"
+	"sae/internal/scenario"
 )
 
 func main() {
@@ -45,6 +56,8 @@ func run(args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	traceFile := fs.String("trace", "", "write a Go execution trace to this file")
+	var scenarioFiles multiFlag
+	fs.Var(&scenarioFiles, "scenario", "run the scenario spec at this path (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,8 +65,9 @@ func run(args []string) error {
 	if *list {
 		exps := sae.Experiments()
 		for _, id := range sae.ExperimentIDs() {
-			fmt.Printf("%-8s %s\n", id, exps[id].Title)
+			fmt.Printf("%-12s %s\n", id, exps[id].Title)
 		}
+		listScenarios()
 		return nil
 	}
 
@@ -70,19 +84,61 @@ func run(args []string) error {
 	}
 
 	ids := fs.Args()
-	if len(ids) == 0 {
+	if len(ids) == 0 && len(scenarioFiles) == 0 {
 		ids = sae.ExperimentIDs()
 	}
-	start := time.Now()
-	results, err := sae.RunExperiments(ids, setup, *parallel)
-	if err != nil {
-		return err
+	exps := sae.Experiments()
+	var tasks []exp.Task
+	for _, id := range ids {
+		e, ok := exps[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (valid: %s)", id, strings.Join(sae.ExperimentIDs(), ", "))
+		}
+		run := e.Run
+		tasks = append(tasks, exp.Task{ID: id, Run: func() (fmt.Stringer, error) { return run(setup) }})
 	}
+	// Explicit cluster flags override each spec's cluster block; the spec
+	// wins over flag defaults, mirroring sae-run -scenario.
+	visited := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+	for _, path := range scenarioFiles {
+		sp, err := scenario.Load(path)
+		if err != nil {
+			return err
+		}
+		s := sp.BaseSetup()
+		if visited["scale"] {
+			s = s.WithScale(*scale)
+		}
+		if visited["nodes"] {
+			s = s.WithNodes(*nodes)
+		}
+		if visited["seed"] {
+			s.Seed = *seed
+		}
+		if *ssd {
+			s = s.WithSSD()
+		}
+		c, err := sp.Compile(s)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, exp.Task{ID: sp.Name, Run: c.Run})
+	}
+
+	start := time.Now()
+	results := exp.RunParallel(*parallel, tasks)
+	var failed []string
 	for _, r := range results {
 		if r.Err != nil {
 			return fmt.Errorf("%s: %w", r.ID, r.Err)
 		}
 		fmt.Print(r.Result)
+		if f, ok := r.Result.(interface{ Failures() []string }); ok {
+			for _, msg := range f.Failures() {
+				failed = append(failed, fmt.Sprintf("%s: %s", r.ID, msg))
+			}
+		}
 		if *csvDir != "" {
 			if tab, ok := r.Result.(exp.Tabular); ok {
 				if err := exp.WriteCSV(filepath.Join(*csvDir, r.ID), tab); err != nil {
@@ -95,5 +151,31 @@ func run(args []string) error {
 	if *parallel > 1 {
 		fmt.Printf("[%d experiments on %d workers in %.2fs wall time]\n", len(results), *parallel, time.Since(start).Seconds())
 	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d scenario expectation(s) failed: %s", len(failed), strings.Join(failed, "; "))
+	}
+	return nil
+}
+
+// listScenarios appends the committed scenario specs to the -list output.
+func listScenarios() {
+	paths, _ := filepath.Glob(filepath.Join("scenarios", "*.yaml"))
+	for _, path := range paths {
+		sp, err := scenario.Load(path)
+		if err != nil {
+			fmt.Printf("%-12s (invalid: %v)\n", path, err)
+			continue
+		}
+		fmt.Printf("%-12s %s\n", path, sp.Description)
+	}
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
 	return nil
 }

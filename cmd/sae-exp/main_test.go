@@ -19,3 +19,20 @@ func TestUnknownExperiment(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestRunScenarioSweep(t *testing.T) {
+	err := run([]string{
+		"-scale", "0.02", "-parallel", "2",
+		"-scenario", "../../scenarios/terasort-crash.yaml",
+		"-scenario", "../../scenarios/multitenant.yaml",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioMissingFile(t *testing.T) {
+	if err := run([]string{"-scenario", "no-such-file.yaml"}); err == nil {
+		t.Fatal("missing scenario file accepted")
+	}
+}

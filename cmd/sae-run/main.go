@@ -4,12 +4,20 @@
 // Usage:
 //
 //	sae-run [-workload terasort] [-policy dynamic] [-threads 8]
-//	        [-scale F] [-nodes N] [-ssd] [-decisions] [-faults SPEC]
+//	        [-scale F] [-nodes N] [-seed S] [-ssd] [-decisions] [-faults SPEC]
+//	        [-scenario FILE]
 //	        [-trace FILE] [-trace-v2] [-metrics FILE] [-metrics-csv FILE]
 //	        [-prom FILE] [-metrics-interval D]
 //
 // Policies: default | static | dynamic. The static policy uses -threads for
 // I/O-marked stages.
+//
+// -scenario runs a declarative scenario spec (scenarios/*.yaml) instead of
+// the -workload/-policy/-faults flags, which are rejected alongside it.
+// The spec's cluster block supplies scale/nodes/seed; -scale, -nodes and
+// -seed override it only when given explicitly, and -conf overrides beat
+// the spec's conf block. A spec with an expect block exits non-zero when
+// any assertion fails.
 //
 // -faults applies a deterministic chaos schedule, e.g. "crash@90s" (kill
 // executor 1 at t=90s), "crash2@2m+30s" (kill executor 2 at 2m, restart 30s
@@ -38,6 +46,7 @@ import (
 	"sae"
 	"sae/internal/conf"
 	"sae/internal/prof"
+	"sae/internal/scenario"
 	"sae/internal/telemetry"
 )
 
@@ -55,7 +64,9 @@ func run(args []string) error {
 	threads := fs.Int("threads", 8, "static policy thread count for I/O stages")
 	scale := fs.Float64("scale", 1, "data scale relative to the paper")
 	nodes := fs.Int("nodes", 4, "cluster size")
+	seed := fs.Int64("seed", 1, "node-variability seed")
 	ssd := fs.Bool("ssd", false, "use the SSD device model")
+	scenarioFile := fs.String("scenario", "", "run the scenario spec at this path instead of -workload/-policy")
 	decisions := fs.Bool("decisions", false, "print the MAPE-K decision log")
 	var confFlags multiFlag
 	fs.Var(&confFlags, "conf", "configuration override key=value (repeatable, e.g. -conf speculation=true)")
@@ -79,9 +90,42 @@ func run(args []string) error {
 	}
 	defer func() { _ = stopProf() }()
 
-	setup := sae.DAS5().WithScale(*scale).WithNodes(*nodes)
-	if *ssd {
-		setup = setup.WithSSD()
+	visited := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+
+	var setup sae.Setup
+	var sp *scenario.Spec
+	if *scenarioFile != "" {
+		for _, name := range []string{"workload", "policy", "threads", "faults", "decisions"} {
+			if visited[name] {
+				return fmt.Errorf("-%s cannot be combined with -scenario (the spec supplies it)", name)
+			}
+		}
+		sp, err = scenario.Load(*scenarioFile)
+		if err != nil {
+			return err
+		}
+		setup = sp.BaseSetup()
+		// Explicit cluster flags override the spec's cluster block;
+		// the spec wins over flag defaults.
+		if visited["scale"] {
+			setup = setup.WithScale(*scale)
+		}
+		if visited["nodes"] {
+			setup = setup.WithNodes(*nodes)
+		}
+		if visited["seed"] {
+			setup.Seed = *seed
+		}
+		if *ssd {
+			setup = setup.WithSSD()
+		}
+	} else {
+		setup = sae.DAS5().WithScale(*scale).WithNodes(*nodes)
+		setup.Seed = *seed
+		if *ssd {
+			setup = setup.WithSSD()
+		}
 	}
 	if len(confFlags) > 0 {
 		reg := conf.New()
@@ -112,6 +156,29 @@ func run(args []string) error {
 		reg = telemetry.NewRegistry()
 		setup.Metrics = reg
 		setup.MetricsInterval = *metricsInterval
+	}
+	if sp != nil {
+		c, err := sp.Compile(setup)
+		if err != nil {
+			return err
+		}
+		res, err := c.Run()
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			if err := exportMetrics(reg, *metricsFile, *metricsCSV, *promFile); err != nil {
+				return err
+			}
+		}
+		fmt.Print(res)
+		if f, ok := res.(interface{ Failures() []string }); ok {
+			if fails := f.Failures(); len(fails) > 0 {
+				return fmt.Errorf("scenario %s: %d expectation(s) failed: %s",
+					sp.Name, len(fails), strings.Join(fails, "; "))
+			}
+		}
+		return nil
 	}
 	if *faults != "" {
 		plan, err := sae.ParseFaults(*faults)

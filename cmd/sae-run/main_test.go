@@ -36,10 +36,30 @@ func TestRunErrors(t *testing.T) {
 		{"-conf", "malformed"},
 		{"-conf", "no.such.key=1"},
 		{"-faults", "bogus@@"},
+		{"-scenario", "no-such-file.yaml"},
+		{"-scenario", "../../scenarios/faults.yaml", "-workload", "terasort"},
+		{"-scenario", "../../scenarios/faults.yaml", "-faults", "crash@20s"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	err := run([]string{"-scenario", "../../scenarios/terasort-crash.yaml", "-scale", "0.05"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioConfOverride(t *testing.T) {
+	err := run([]string{
+		"-scenario", "../../scenarios/terasort-crash.yaml", "-scale", "0.05",
+		"-conf", "shuffle.io.maxRetries=9",
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

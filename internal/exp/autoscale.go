@@ -8,11 +8,6 @@ import (
 
 	"sae/internal/arrival"
 	"sae/internal/autoscale"
-	"sae/internal/core"
-	"sae/internal/device"
-	"sae/internal/engine"
-	"sae/internal/engine/job"
-	"sae/internal/metrics"
 )
 
 // autoscaleSLOFactor sets the per-scenario p99 latency target relative to
@@ -43,7 +38,8 @@ type AutoscaleRow struct {
 	PeakNodes, FinalNodes int
 	ScaleUps, Drains      int
 	// P99Sec is the overall p99 job latency; SLOMet is whether it stayed
-	// within autoscaleSLOFactor of static-large's p99 for the same arrivals.
+	// within the SLO factor of the baseline config's p99 for the same
+	// arrivals.
 	P99Sec float64
 	SLOMet bool
 	// Classes breaks latency down per tenant class.
@@ -59,40 +55,16 @@ type AutoscaleRow struct {
 // a fraction of its cost, where a static small fleet drowns in bursts?
 type AutoscaleResult struct {
 	Rows []AutoscaleRow
+	// SLOFactor is the p99 tolerance the verdicts were computed against
+	// (0 renders as the experiment default); Baseline names the config the
+	// tolerance is relative to (empty renders as "static-large").
+	SLOFactor float64
+	Baseline  string
 }
 
-// autoscaleTenant maps one arrival class to a concrete workload shape.
-type autoscaleTenant struct {
-	class  arrival.Class
-	blocks int
-}
-
-// job builds the seq-th submission of this tenant class. Inputs are shared
-// per class (read-only); outputs are per-job so concurrent runs never
-// collide in the DFS namespace.
-func (t autoscaleTenant) job(seq int) *job.JobSpec {
-	in := int64(t.blocks) * 64 * device.MiB
-	name := fmt.Sprintf("%s-%d", t.class.Name, seq)
-	return &job.JobSpec{
-		Name:     name,
-		Tenant:   t.class.Name,
-		Priority: t.class.Priority,
-		Stages: []*job.StageSpec{
-			{ID: 0, Name: "map", InputFile: t.class.Name + "/in",
-				CPUSecondsPerTask: 0.15, ShuffleWriteBytes: in / 2},
-			{ID: 1, Name: "reduce", NumTasks: 2 * t.blocks, ShuffleFrom: []int{0},
-				CPUSecondsPerTask: 0.1, OutputFile: name + "/out", OutputBytes: in / 4},
-		},
-	}
-}
-
-func (t autoscaleTenant) input() engine.Input {
-	return engine.Input{Name: t.class.Name + "/in", Size: int64(t.blocks) * 64 * device.MiB}
-}
-
-// scaleCount scales an integer design point by the setup's data scale,
-// never below min.
-func scaleCount(n int, scale float64, min int) int {
+// ScaleCount scales an integer design point by the setup's data scale,
+// never below min (shared by the Go experiments and compiled scenarios).
+func ScaleCount(n int, scale float64, min int) int {
 	v := int(math.Round(float64(n) * scale))
 	if v < min {
 		v = min
@@ -109,191 +81,41 @@ func Autoscale(s Setup) (*AutoscaleResult, error) {
 	if small < 2 {
 		small = 2
 	}
-
-	tenants := []autoscaleTenant{
-		{class: arrival.Class{Name: "interactive", Weight: 3, Priority: 1},
-			blocks: scaleCount(8, s.Scale, 1)},
-		{class: arrival.Class{Name: "batch", Weight: 1, Priority: 0},
-			blocks: scaleCount(32, s.Scale, 2)},
-	}
-	classes := make([]arrival.Class, len(tenants))
-	byClass := make(map[string]autoscaleTenant, len(tenants))
-	for i, t := range tenants {
-		classes[i] = t.class
-		byClass[t.class.Name] = t
-	}
-	maxJobs := scaleCount(28, s.Scale, 4)
-
-	scenarios := []struct {
-		name string
-		proc arrival.Process
-	}{
-		{"poisson", arrival.Poisson{RatePerSec: 0.08}},
-		{"bursty", arrival.Bursty{OnRate: 0.30, OffRate: 0.02,
-			On: 45 * time.Second, Off: 105 * time.Second}},
-	}
-	configs := []struct {
-		name    string
-		policy  func() autoscale.Policy
-		initial int
-	}{
-		// Policies carry planner state (EWMAs, cooldown history), so every
-		// run gets a fresh instance.
-		{"static-small", func() autoscale.Policy { return autoscale.Static{} }, small},
-		{"static-large", func() autoscale.Policy { return autoscale.Static{} }, capacity},
-		{"reactive", func() autoscale.Policy { return autoscale.DefaultReactive() }, small},
-		// The adaptive planner drains backlog faster than the default (30s
-		// vs 2min) with extra headroom: open-loop bursts punish a planner
-		// that provisions for the mean.
-		{"adaptive", func() autoscale.Policy {
-			return &autoscale.Adaptive{
-				Alpha:           0.3,
-				DrainTarget:     30 * time.Second,
-				Headroom:        1.5,
-				MinSamplePeriod: 5 * time.Second,
-			}
-		}, small},
-	}
-
-	res := &AutoscaleResult{}
-	for _, sc := range scenarios {
-		// One schedule per scenario, replayed against every config — the
-		// comparison isolates provisioning, not traffic noise.
-		sched := arrival.Spec{
-			Proc:    sc.proc,
-			Classes: classes,
-			Seed:    s.Seed,
-			Horizon: 6 * time.Minute,
-			MaxJobs: maxJobs,
-		}.Generate()
-		if len(sched) == 0 {
-			return nil, fmt.Errorf("autoscale: %s generated no arrivals", sc.name)
-		}
-		var rows []AutoscaleRow
-		for _, cfg := range configs {
-			row, err := s.runAutoscale(sc.name, cfg.name, cfg.policy(), cfg.initial, capacity, sched, byClass)
-			if err != nil {
-				return nil, fmt.Errorf("autoscale %s/%s: %w", sc.name, cfg.name, err)
-			}
-			rows = append(rows, row)
-		}
-		// SLO verdicts are relative to static-large on the same arrivals.
-		baseline := rows[1].P99Sec
-		for i := range rows {
-			rows[i].SLOMet = rows[i].P99Sec <= autoscaleSLOFactor*baseline
-		}
-		res.Rows = append(res.Rows, rows...)
-	}
-	return res, nil
-}
-
-// runAutoscale replays one arrival schedule against one cluster config.
-func (s Setup) runAutoscale(scenario, config string, policy autoscale.Policy,
-	initial, capacity int, sched []arrival.Arrival,
-	byClass map[string]autoscaleTenant) (AutoscaleRow, error) {
-
-	big := s
-	big.Nodes = capacity
-	var inputs []engine.Input
-	for _, t := range byClass {
-		inputs = append(inputs, t.input())
-	}
-	// Map iteration order is random; keep the DFS layout deterministic.
-	for i := 1; i < len(inputs); i++ {
-		for j := i; j > 0 && inputs[j].Name < inputs[j-1].Name; j-- {
-			inputs[j], inputs[j-1] = inputs[j-1], inputs[j]
-		}
-	}
-	opts := engine.Options{
-		Cluster:         big.clusterConfig(),
-		BlockSize:       64 * device.MiB,
-		Policy:          core.Default{},
-		JobPolicy:       engine.Fair{},
-		Inputs:          inputs,
-		Trace:           s.Trace,
-		TraceFormat:     s.TraceFormat,
-		Metrics:         s.Metrics,
-		MetricsInterval: s.MetricsInterval,
-		Autoscale: &engine.AutoscaleConfig{
-			Policy:            policy,
-			Interval:          10 * time.Second,
-			InitialNodes:      initial,
-			MinNodes:          2,
-			MaxNodes:          capacity,
-			ProvisionDelay:    15 * time.Second,
-			ScaleDownCooldown: time.Minute,
+	m := ArrivalMatrix{
+		Tenants: []ArrivalTenant{
+			{Class: arrival.Class{Name: "interactive", Weight: 3, Priority: 1},
+				Blocks: ScaleCount(8, s.Scale, 1)},
+			{Class: arrival.Class{Name: "batch", Weight: 1, Priority: 0},
+				Blocks: ScaleCount(32, s.Scale, 2)},
 		},
+		Scenarios: []ArrivalScenario{
+			{Name: "poisson", Proc: arrival.Poisson{RatePerSec: 0.08}},
+			{Name: "bursty", Proc: arrival.Bursty{OnRate: 0.30, OffRate: 0.02,
+				On: 45 * time.Second, Off: 105 * time.Second}},
+		},
+		Configs: []ArrivalConfig{
+			{Name: "static-small", Policy: func() autoscale.Policy { return autoscale.Static{} }, Initial: small},
+			{Name: "static-large", Policy: func() autoscale.Policy { return autoscale.Static{} }, Initial: capacity},
+			{Name: "reactive", Policy: func() autoscale.Policy { return autoscale.DefaultReactive() }, Initial: small},
+			// The adaptive planner drains backlog faster than the default
+			// (30s vs 2min) with extra headroom: open-loop bursts punish a
+			// planner that provisions for the mean.
+			{Name: "adaptive", Policy: func() autoscale.Policy {
+				return &autoscale.Adaptive{
+					Alpha:           0.3,
+					DrainTarget:     30 * time.Second,
+					Headroom:        1.5,
+					MinSamplePeriod: 5 * time.Second,
+				}
+			}, Initial: small},
+		},
+		Capacity:  capacity,
+		Horizon:   6 * time.Minute,
+		MaxJobs:   ScaleCount(28, s.Scale, 4),
+		SLOFactor: autoscaleSLOFactor,
+		Baseline:  "static-large",
 	}
-	e, err := engine.NewEngine(opts)
-	if err != nil {
-		return AutoscaleRow{}, err
-	}
-	handles := make([]*engine.JobHandle, len(sched))
-	for i, a := range sched {
-		t, ok := byClass[a.Class.Name]
-		if !ok {
-			return AutoscaleRow{}, fmt.Errorf("unknown tenant class %q", a.Class.Name)
-		}
-		if handles[i], err = e.SubmitAt(a.At, t.job(a.Seq)); err != nil {
-			return AutoscaleRow{}, err
-		}
-	}
-	if err := e.Wait(); err != nil {
-		return AutoscaleRow{}, err
-	}
-
-	byName := map[string][]*engine.JobReport{}
-	var all []time.Duration
-	for _, h := range handles {
-		rep, err := h.Report()
-		if err != nil {
-			return AutoscaleRow{}, err
-		}
-		byName[rep.Tenant] = append(byName[rep.Tenant], rep)
-		all = append(all, rep.Runtime)
-	}
-	ar := e.AutoscaleReport()
-	row := AutoscaleRow{
-		Arrivals:   scenario,
-		Config:     config,
-		Jobs:       len(sched),
-		NodeHours:  ar.NodeSeconds / 3600,
-		PeakNodes:  ar.PeakNodes,
-		FinalNodes: ar.FinalNodes,
-		ScaleUps:   ar.Activations,
-		Drains:     ar.Drains,
-		P99Sec:     metrics.Quantiles(all, 0.99)[0].Seconds(),
-	}
-	// Class rows in a fixed order (interactive before batch) for stable
-	// rendering and goldens.
-	names := make([]string, 0, len(byName))
-	for name := range byName {
-		names = append(names, name)
-	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
-	for _, name := range names {
-		reps := byName[name]
-		var lat []time.Duration
-		var queue time.Duration
-		for _, rep := range reps {
-			lat = append(lat, rep.Runtime)
-			queue += rep.QueueDelay
-		}
-		q := metrics.Quantiles(lat, 0.5, 0.95, 0.99)
-		row.Classes = append(row.Classes, AutoscaleClassRow{
-			Class:        name,
-			Jobs:         len(reps),
-			P50Sec:       q[0].Seconds(),
-			P95Sec:       q[1].Seconds(),
-			P99Sec:       q[2].Seconds(),
-			MeanQueueSec: (queue / time.Duration(len(reps))).Seconds(),
-		})
-	}
-	return row, nil
+	return Runner{Setup: s, Label: "autoscale"}.ArrivalMatrix(m)
 }
 
 // Get returns the row for (arrivals, config).
@@ -306,10 +128,21 @@ func (r *AutoscaleResult) Get(arrivals, config string) (AutoscaleRow, bool) {
 	return AutoscaleRow{}, false
 }
 
+func (r *AutoscaleResult) sloFactor() float64 {
+	if r.SLOFactor > 0 {
+		return r.SLOFactor
+	}
+	return autoscaleSLOFactor
+}
+
 func (r *AutoscaleResult) String() string {
+	baseline := r.Baseline
+	if baseline == "" {
+		baseline = "static-large"
+	}
 	var b strings.Builder
 	b.WriteString("Autoscale — open-loop arrivals × provisioning config (p99 SLO = ")
-	fmt.Fprintf(&b, "%.1f× static-large)\n", autoscaleSLOFactor)
+	fmt.Fprintf(&b, "%.1f× %s)\n", r.sloFactor(), baseline)
 	fmt.Fprintf(&b, "  %-8s %-13s %5s %10s %5s %9s %7s %8s %5s\n",
 		"arrivals", "config", "jobs", "node-hours", "peak", "scale-ups", "drains", "p99", "SLO")
 	for _, row := range r.Rows {

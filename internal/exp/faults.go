@@ -1,8 +1,7 @@
 package exp
 
 import (
-	"fmt"
-	"strings"
+	"time"
 
 	"sae/internal/chaos"
 	"sae/internal/core"
@@ -35,58 +34,65 @@ type FaultsResult struct {
 	Rows []FaultsRow
 }
 
-// Faults runs Terasort under each policy × chaos schedule. Per policy, a
-// quiet calibration run fixes the fault times: the crash lands at 45% of
-// that policy's own quiet runtime (mid-sort — map outputs exist and the
-// shuffle is in flight), the restart 20% later.
-func Faults(s Setup) (*FaultsResult, error) {
-	policies := []job.Policy{
+// ChaosMatrixPolicies is the sizing-policy set every chaos matrix sweeps:
+// the stock default, the paper's 8-thread static solution, and the MAPE-K
+// dynamic executor.
+func ChaosMatrixPolicies() []job.Policy {
+	return []job.Policy{
 		core.Default{},
 		core.Static{IOThreads: 8},
 		core.DefaultDynamic(),
 	}
-	res := &FaultsResult{}
-	w := workloads.Terasort(s.workloadConfig())
-	for _, pol := range policies {
-		quiet, err := s.WithFaults(nil).Run(w, pol, nil)
-		if err != nil {
-			return nil, fmt.Errorf("faults %s quiet: %w", pol.Name(), err)
-		}
-		crashAt := quiet.Runtime * 45 / 100
-		restartAfter := quiet.Runtime * 20 / 100
-		schedules := []*chaos.Plan{
+}
+
+// FaultsSchedules returns the fault-tolerance schedule generator: given a
+// policy's quiet runtime, the crash lands at 45% of it (mid-sort — map
+// outputs exist and the shuffle is in flight), the restart 20% later.
+func FaultsSchedules(seed int64) func(quiet time.Duration) []*chaos.Plan {
+	return func(quiet time.Duration) []*chaos.Plan {
+		crashAt := quiet * 45 / 100
+		restartAfter := quiet * 20 / 100
+		return []*chaos.Plan{
 			nil,
 			chaos.CrashAt(1, crashAt),
 			chaos.CrashRestart(1, crashAt, restartAfter),
-			chaos.Flaky(0.02, s.Seed),
-		}
-		for _, plan := range schedules {
-			rep := quiet
-			if !plan.Empty() {
-				rep, err = s.WithFaults(plan).Run(w, pol, nil)
-				if err != nil {
-					return nil, fmt.Errorf("faults %s %s: %w", pol.Name(), plan, err)
-				}
-			}
-			row := FaultsRow{
-				Policy:            pol.Name(),
-				Schedule:          plan.String(),
-				Seconds:           rep.Runtime.Seconds(),
-				LostExecutors:     rep.LostExecutors,
-				ResubmittedStages: rep.ResubmittedStages,
-				RecoveredGiB:      workloads.GiB(rep.RecoveredBytes),
-			}
-			for _, st := range rep.Stages {
-				row.Requeued += st.Requeued
-				row.Retries += st.Retries
-			}
-			if quiet.Runtime > 0 {
-				row.DegradedPct = 100 * (rep.Runtime.Seconds() - quiet.Runtime.Seconds()) / quiet.Runtime.Seconds()
-			}
-			res.Rows = append(res.Rows, row)
+			chaos.Flaky(0.02, seed),
 		}
 	}
-	return res, nil
+}
+
+// Faults runs Terasort under each policy × chaos schedule. Per policy, a
+// quiet calibration run fixes the fault times (see FaultsSchedules).
+func Faults(s Setup) (*FaultsResult, error) {
+	cells, err := Runner{Setup: s, Label: "faults"}.ChaosMatrix(
+		workloads.Terasort(s.workloadConfig()), ChaosMatrixPolicies(), FaultsSchedules(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return NewFaultsResult(cells), nil
+}
+
+// NewFaultsResult assembles the fault-tolerance rows from chaos-matrix
+// cells (shared by the Go experiment and compiled scenario specs).
+func NewFaultsResult(cells []ChaosCell) *FaultsResult {
+	res := &FaultsResult{}
+	for _, c := range cells {
+		row := FaultsRow{
+			Policy:            c.Policy,
+			Schedule:          c.Schedule,
+			Seconds:           c.Report.Runtime.Seconds(),
+			DegradedPct:       c.DegradedPct,
+			LostExecutors:     c.Report.LostExecutors,
+			ResubmittedStages: c.Report.ResubmittedStages,
+			RecoveredGiB:      workloads.GiB(c.Report.RecoveredBytes),
+		}
+		for _, st := range c.Report.Stages {
+			row.Requeued += st.Requeued
+			row.Retries += st.Retries
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
 }
 
 // Get returns the row for (policy, schedule).
@@ -99,29 +105,33 @@ func (r *FaultsResult) Get(policy, schedule string) (FaultsRow, bool) {
 	return FaultsRow{}, false
 }
 
-func (r *FaultsResult) String() string {
-	var b strings.Builder
-	b.WriteString("Faults — Terasort under deterministic chaos schedules\n")
-	fmt.Fprintf(&b, "  %-16s %-22s %9s %9s %5s %7s %7s %7s %9s\n",
-		"policy", "schedule", "runtime", "degraded", "lost", "resub", "requeue", "retries", "recovered")
-	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %-16s %-22s %8.1fs %+8.1f%% %5d %7d %7d %7d %8.2fG\n",
-			row.Policy, row.Schedule, row.Seconds, row.DegradedPct,
-			row.LostExecutors, row.ResubmittedStages, row.Requeued, row.Retries, row.RecoveredGiB)
+func (r *FaultsResult) table() *Table {
+	t := &Table{
+		Title: "Faults — Terasort under deterministic chaos schedules",
+		Name:  "faults",
+		Columns: []Column{
+			{Key: "policy", Head: "policy", HeadFmt: "%-16s", CellFmt: "%-16s"},
+			{Key: "schedule", Head: "schedule", HeadFmt: "%-22s", CellFmt: "%-22s"},
+			{Key: "seconds", Head: "runtime", HeadFmt: "%9s", CellFmt: "%8.1fs"},
+			{Key: "degraded_pct", Head: "degraded", HeadFmt: "%9s", CellFmt: "%+8.1f%%"},
+			{Key: "lost_executors", Head: "lost", HeadFmt: "%5s", CellFmt: "%5d"},
+			{Key: "resubmitted_stages", Head: "resub", HeadFmt: "%7s", CellFmt: "%7d"},
+			{Key: "requeued", Head: "requeue", HeadFmt: "%7s", CellFmt: "%7d"},
+			{Key: "retries", Head: "retries", HeadFmt: "%7s", CellFmt: "%7d"},
+			{Key: "recovered_gib", Head: "recovered", HeadFmt: "%9s", CellFmt: "%8.2fG"},
+		},
 	}
-	return b.String()
-}
-
-// CSVTables implements Tabular.
-func (r *FaultsResult) CSVTables() map[string][][]string {
-	rows := [][]string{{"policy", "schedule", "seconds", "degraded_pct",
-		"lost_executors", "resubmitted_stages", "requeued", "retries", "recovered_gib"}}
 	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			row.Policy, row.Schedule, ftoa(row.Seconds), ftoa(row.DegradedPct),
-			itoa(row.LostExecutors), itoa(row.ResubmittedStages),
-			itoa(row.Requeued), itoa(row.Retries), ftoa(row.RecoveredGiB),
+		t.Rows = append(t.Rows, []any{
+			row.Policy, row.Schedule, row.Seconds, row.DegradedPct,
+			row.LostExecutors, row.ResubmittedStages, row.Requeued,
+			row.Retries, row.RecoveredGiB,
 		})
 	}
-	return map[string][][]string{"faults": rows}
+	return t
 }
+
+func (r *FaultsResult) String() string { return r.table().String() }
+
+// CSVTables implements Tabular.
+func (r *FaultsResult) CSVTables() map[string][][]string { return r.table().CSVTables() }

@@ -1,12 +1,9 @@
 package exp
 
 import (
-	"fmt"
-	"strings"
+	"time"
 
 	"sae/internal/chaos"
-	"sae/internal/core"
-	"sae/internal/engine/job"
 	"sae/internal/workloads"
 )
 
@@ -41,58 +38,54 @@ type GrayFailResult struct {
 	Rows []GrayFailRow
 }
 
-// GrayFail runs Terasort under each policy × gray-failure schedule. Per
-// policy, a quiet calibration run fixes the fault times: the slowdown and
-// the partition both land at 25% of that policy's own quiet runtime
+// GrayFailSchedules returns the gray-failure schedule generator: the
+// slowdown and the partition both land at 25% of the policy's quiet runtime
 // (mid-map, with the shuffle still ahead), and the partition lasts 20% of
-// it — long enough to outlive the heartbeat timeout at paper scale, so
-// the detector's false-positive path is exercised, not just its timers.
-func GrayFail(s Setup) (*GrayFailResult, error) {
-	policies := []job.Policy{
-		core.Default{},
-		core.Static{IOThreads: 8},
-		core.DefaultDynamic(),
-	}
-	res := &GrayFailResult{}
-	w := workloads.Terasort(s.workloadConfig())
-	for _, pol := range policies {
-		quiet, err := s.WithFaults(nil).Run(w, pol, nil)
-		if err != nil {
-			return nil, fmt.Errorf("grayfail %s quiet: %w", pol.Name(), err)
-		}
-		at := quiet.Runtime / 4
-		partDur := quiet.Runtime * 20 / 100
-		schedules := []*chaos.Plan{
+// it — long enough to outlive the heartbeat timeout at paper scale, so the
+// detector's false-positive path is exercised, not just its timers.
+func GrayFailSchedules(seed int64) func(quiet time.Duration) []*chaos.Plan {
+	return func(quiet time.Duration) []*chaos.Plan {
+		at := quiet / 4
+		partDur := quiet * 20 / 100
+		return []*chaos.Plan{
 			nil,
 			chaos.SlowAt(1, at, 4),
 			chaos.PartitionAt(1, at, partDur),
-			chaos.Corrupt(0.05, s.Seed),
-		}
-		for _, plan := range schedules {
-			rep := quiet
-			if !plan.Empty() {
-				rep, err = s.WithFaults(plan).Run(w, pol, nil)
-				if err != nil {
-					return nil, fmt.Errorf("grayfail %s %s: %w", pol.Name(), plan, err)
-				}
-			}
-			row := GrayFailRow{
-				Policy:            pol.Name(),
-				Schedule:          plan.String(),
-				Seconds:           rep.Runtime.Seconds(),
-				Suspected:         rep.Suspected,
-				Fenced:            rep.Fenced,
-				LostExecutors:     rep.LostExecutors,
-				FetchRetries:      rep.FetchRetries,
-				ChecksumFailovers: rep.ChecksumFailovers,
-			}
-			if quiet.Runtime > 0 {
-				row.DegradedPct = 100 * (rep.Runtime.Seconds() - quiet.Runtime.Seconds()) / quiet.Runtime.Seconds()
-			}
-			res.Rows = append(res.Rows, row)
+			chaos.Corrupt(0.05, seed),
 		}
 	}
-	return res, nil
+}
+
+// GrayFail runs Terasort under each policy × gray-failure schedule. Per
+// policy, a quiet calibration run fixes the fault times (see
+// GrayFailSchedules).
+func GrayFail(s Setup) (*GrayFailResult, error) {
+	cells, err := Runner{Setup: s, Label: "grayfail"}.ChaosMatrix(
+		workloads.Terasort(s.workloadConfig()), ChaosMatrixPolicies(), GrayFailSchedules(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return NewGrayFailResult(cells), nil
+}
+
+// NewGrayFailResult assembles the gray-failure rows from chaos-matrix
+// cells (shared by the Go experiment and compiled scenario specs).
+func NewGrayFailResult(cells []ChaosCell) *GrayFailResult {
+	res := &GrayFailResult{}
+	for _, c := range cells {
+		res.Rows = append(res.Rows, GrayFailRow{
+			Policy:            c.Policy,
+			Schedule:          c.Schedule,
+			Seconds:           c.Report.Runtime.Seconds(),
+			DegradedPct:       c.DegradedPct,
+			Suspected:         c.Report.Suspected,
+			Fenced:            c.Report.Fenced,
+			LostExecutors:     c.Report.LostExecutors,
+			FetchRetries:      c.Report.FetchRetries,
+			ChecksumFailovers: c.Report.ChecksumFailovers,
+		})
+	}
+	return res
 }
 
 // Get returns the row for (policy, schedule).
@@ -105,29 +98,33 @@ func (r *GrayFailResult) Get(policy, schedule string) (GrayFailRow, bool) {
 	return GrayFailRow{}, false
 }
 
-func (r *GrayFailResult) String() string {
-	var b strings.Builder
-	b.WriteString("GrayFail — Terasort under gray failures (slow node, partition, corrupt replicas)\n")
-	fmt.Fprintf(&b, "  %-16s %-22s %9s %9s %7s %6s %5s %7s %9s\n",
-		"policy", "schedule", "runtime", "degraded", "suspect", "fenced", "lost", "fetchRT", "ckFailovr")
-	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %-16s %-22s %8.1fs %+8.1f%% %7d %6d %5d %7d %9d\n",
-			row.Policy, row.Schedule, row.Seconds, row.DegradedPct,
-			row.Suspected, row.Fenced, row.LostExecutors, row.FetchRetries, row.ChecksumFailovers)
+func (r *GrayFailResult) table() *Table {
+	t := &Table{
+		Title: "GrayFail — Terasort under gray failures (slow node, partition, corrupt replicas)",
+		Name:  "grayfail",
+		Columns: []Column{
+			{Key: "policy", Head: "policy", HeadFmt: "%-16s", CellFmt: "%-16s"},
+			{Key: "schedule", Head: "schedule", HeadFmt: "%-22s", CellFmt: "%-22s"},
+			{Key: "seconds", Head: "runtime", HeadFmt: "%9s", CellFmt: "%8.1fs"},
+			{Key: "degraded_pct", Head: "degraded", HeadFmt: "%9s", CellFmt: "%+8.1f%%"},
+			{Key: "suspected", Head: "suspect", HeadFmt: "%7s", CellFmt: "%7d"},
+			{Key: "fenced", Head: "fenced", HeadFmt: "%6s", CellFmt: "%6d"},
+			{Key: "lost_executors", Head: "lost", HeadFmt: "%5s", CellFmt: "%5d"},
+			{Key: "fetch_retries", Head: "fetchRT", HeadFmt: "%7s", CellFmt: "%7d"},
+			{Key: "checksum_failovers", Head: "ckFailovr", HeadFmt: "%9s", CellFmt: "%9d"},
+		},
 	}
-	return b.String()
-}
-
-// CSVTables implements Tabular.
-func (r *GrayFailResult) CSVTables() map[string][][]string {
-	rows := [][]string{{"policy", "schedule", "seconds", "degraded_pct",
-		"suspected", "fenced", "lost_executors", "fetch_retries", "checksum_failovers"}}
 	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			row.Policy, row.Schedule, ftoa(row.Seconds), ftoa(row.DegradedPct),
-			itoa(row.Suspected), itoa(row.Fenced), itoa(row.LostExecutors),
-			itoa(row.FetchRetries), itoa(row.ChecksumFailovers),
+		t.Rows = append(t.Rows, []any{
+			row.Policy, row.Schedule, row.Seconds, row.DegradedPct,
+			row.Suspected, row.Fenced, row.LostExecutors,
+			row.FetchRetries, row.ChecksumFailovers,
 		})
 	}
-	return map[string][][]string{"grayfail": rows}
+	return t
 }
+
+func (r *GrayFailResult) String() string { return r.table().String() }
+
+// CSVTables implements Tabular.
+func (r *GrayFailResult) CSVTables() map[string][][]string { return r.table().CSVTables() }

@@ -97,60 +97,63 @@ type MultiTenantResult struct {
 	Rows []MultiTenantRow
 }
 
-// MultiTenant runs each workload mix under {FIFO, FAIR} × {default,
-// dynamic}.
-func MultiTenant(s Setup) (*MultiTenantResult, error) {
-	cfg := s.workloadConfig()
-	mixes := []struct {
-		name string
-		ws   func() []*workloads.Spec
-	}{
-		{"2xterasort", func() []*workloads.Spec {
+// MultiTenantMixes is the experiment's workload-mix set, built against one
+// workload config.
+func MultiTenantMixes(cfg workloads.Config) []Mix {
+	return []Mix{
+		{Name: "2xterasort", Make: func() []*workloads.Spec {
 			return []*workloads.Spec{workloads.Terasort(cfg), workloads.Terasort(cfg)}
 		}},
-		{"2xpagerank", func() []*workloads.Spec {
+		{Name: "2xpagerank", Make: func() []*workloads.Spec {
 			return []*workloads.Spec{workloads.PageRank(cfg), workloads.PageRank(cfg)}
 		}},
-		{"terasort+pagerank", func() []*workloads.Spec {
+		{Name: "terasort+pagerank", Make: func() []*workloads.Spec {
 			return []*workloads.Spec{workloads.Terasort(cfg), workloads.PageRank(cfg)}
 		}},
-		{"2xterasort+2xpagerank", func() []*workloads.Spec {
+		{Name: "2xterasort+2xpagerank", Make: func() []*workloads.Spec {
 			return []*workloads.Spec{
 				workloads.Terasort(cfg), workloads.PageRank(cfg),
 				workloads.Terasort(cfg), workloads.PageRank(cfg),
 			}
 		}},
 	}
-	schedulers := []engine.InterJobPolicy{engine.FIFO{}, engine.Fair{}}
-	policies := []job.Policy{core.Default{}, core.DefaultDynamic()}
+}
+
+// MultiTenant runs each workload mix under {FIFO, FAIR} × {default,
+// dynamic}.
+func MultiTenant(s Setup) (*MultiTenantResult, error) {
+	cells, err := Runner{Setup: s, Label: "multitenant"}.TenantMatrix(
+		MultiTenantMixes(s.workloadConfig()),
+		[]engine.InterJobPolicy{engine.FIFO{}, engine.Fair{}},
+		[]job.Policy{core.Default{}, core.DefaultDynamic()})
+	if err != nil {
+		return nil, err
+	}
+	return NewMultiTenantResult(cells), nil
+}
+
+// NewMultiTenantResult assembles the multi-tenant rows from tenant-matrix
+// cells (shared by the Go experiment and compiled scenario specs).
+func NewMultiTenantResult(cells []TenantCell) *MultiTenantResult {
 	res := &MultiTenantResult{}
-	for _, mix := range mixes {
-		for _, sched := range schedulers {
-			for _, pol := range policies {
-				reps, err := s.RunMulti(mix.ws(), pol, sched)
-				if err != nil {
-					return nil, fmt.Errorf("multitenant %s/%s/%s: %w",
-						mix.name, sched.Name(), pol.Name(), err)
-				}
-				row := MultiTenantRow{Mix: mix.name, Sched: sched.Name(), Policy: pol.Name()}
-				var sum, makespan float64
-				for _, rep := range reps {
-					sec := rep.Runtime.Seconds()
-					row.JobSecs = append(row.JobSecs, sec)
-					sum += sec
-					// All jobs are submitted at t=0, so the makespan is
-					// the slowest job's runtime.
-					if sec > makespan {
-						makespan = sec
-					}
-				}
-				row.MakespanSec = makespan
-				row.MeanJobSec = sum / float64(len(reps))
-				res.Rows = append(res.Rows, row)
+	for _, c := range cells {
+		row := MultiTenantRow{Mix: c.Mix, Sched: c.Sched, Policy: c.Policy}
+		var sum, makespan float64
+		for _, rep := range c.Reports {
+			sec := rep.Runtime.Seconds()
+			row.JobSecs = append(row.JobSecs, sec)
+			sum += sec
+			// All jobs are submitted at t=0, so the makespan is the
+			// slowest job's runtime.
+			if sec > makespan {
+				makespan = sec
 			}
 		}
+		row.MakespanSec = makespan
+		row.MeanJobSec = sum / float64(len(c.Reports))
+		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	return res
 }
 
 // Get returns the row for (mix, sched, policy).
@@ -163,35 +166,42 @@ func (r *MultiTenantResult) Get(mix, sched, policy string) (MultiTenantRow, bool
 	return MultiTenantRow{}, false
 }
 
-func (r *MultiTenantResult) String() string {
-	var b strings.Builder
-	b.WriteString("Multi-tenant — concurrent job mixes × inter-job scheduler × sizing policy\n")
-	fmt.Fprintf(&b, "  %-22s %-5s %-16s %9s %9s  %s\n",
-		"mix", "sched", "policy", "makespan", "mean-job", "per-job")
-	for _, row := range r.Rows {
-		var jobs []string
-		for _, s := range row.JobSecs {
-			jobs = append(jobs, fmt.Sprintf("%.1f", s))
-		}
-		fmt.Fprintf(&b, "  %-22s %-5s %-16s %8.1fs %8.1fs  [%s]\n",
-			row.Mix, row.Sched, row.Policy, row.MakespanSec, row.MeanJobSec,
-			strings.Join(jobs, " "))
+func (r *MultiTenantResult) table() *Table {
+	t := &Table{
+		Title: "Multi-tenant — concurrent job mixes × inter-job scheduler × sizing policy",
+		Name:  "multitenant",
+		Columns: []Column{
+			{Key: "mix", Head: "mix", HeadFmt: "%-22s", CellFmt: "%-22s"},
+			{Key: "sched", Head: "sched", HeadFmt: "%-5s", CellFmt: "%-5s"},
+			{Key: "policy", Head: "policy", HeadFmt: "%-16s", CellFmt: "%-16s"},
+			{Key: "makespan_sec", Head: "makespan", HeadFmt: "%9s", CellFmt: "%8.1fs"},
+			{Key: "mean_job_sec", Head: "mean-job", HeadFmt: "%9s", CellFmt: "%8.1fs"},
+			{Key: "job_secs", Head: "per-job", HeadFmt: " %s", CellFmt: " [%s]",
+				Text: func(v any) string {
+					var jobs []string
+					for _, s := range v.([]float64) {
+						jobs = append(jobs, fmt.Sprintf("%.1f", s))
+					}
+					return strings.Join(jobs, " ")
+				},
+				CSV: func(v any) string {
+					var jobs []string
+					for _, s := range v.([]float64) {
+						jobs = append(jobs, ftoa(s))
+					}
+					return strings.Join(jobs, ";")
+				}},
+		},
 	}
-	return b.String()
-}
-
-// CSVTables implements Tabular.
-func (r *MultiTenantResult) CSVTables() map[string][][]string {
-	rows := [][]string{{"mix", "sched", "policy", "makespan_sec", "mean_job_sec", "job_secs"}}
 	for _, row := range r.Rows {
-		var jobs []string
-		for _, s := range row.JobSecs {
-			jobs = append(jobs, ftoa(s))
-		}
-		rows = append(rows, []string{
-			row.Mix, row.Sched, row.Policy,
-			ftoa(row.MakespanSec), ftoa(row.MeanJobSec), strings.Join(jobs, ";"),
+		t.Rows = append(t.Rows, []any{
+			row.Mix, row.Sched, row.Policy, row.MakespanSec, row.MeanJobSec, row.JobSecs,
 		})
 	}
-	return map[string][][]string{"multitenant": rows}
+	return t
 }
+
+func (r *MultiTenantResult) String() string { return r.table().String() }
+
+// CSVTables implements Tabular.
+func (r *MultiTenantResult) CSVTables() map[string][][]string { return r.table().CSVTables() }

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// parseJSON decodes a JSON document into the same node tree the YAML
+// parser builds, so JSON specs flow through the identical strict decoder.
+// JSON carries no line information; errors fall back to field-path
+// positions.
+func parseJSON(data []byte) (*node, error) {
+	d := json.NewDecoder(bytes.NewReader(data))
+	d.UseNumber()
+	var v any
+	if err := d.Decode(&v); err != nil {
+		return nil, fmt.Errorf("json: %w", err)
+	}
+	// A second value after the document is as malformed as a YAML
+	// multi-document stream.
+	if d.More() {
+		return nil, fmt.Errorf("json: trailing data after document")
+	}
+	return jsonNode(v)
+}
+
+func jsonNode(v any) (*node, error) {
+	switch t := v.(type) {
+	case map[string]any:
+		n := &node{kind: mappingNode, children: map[string]*node{}}
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			child, err := jsonNode(t[k])
+			if err != nil {
+				return nil, err
+			}
+			n.keys = append(n.keys, k)
+			n.children[k] = child
+		}
+		return n, nil
+	case []any:
+		n := &node{kind: sequenceNode}
+		for _, item := range t {
+			child, err := jsonNode(item)
+			if err != nil {
+				return nil, err
+			}
+			n.seq = append(n.seq, child)
+		}
+		return n, nil
+	case string:
+		return &node{kind: scalarNode, val: t}, nil
+	case json.Number:
+		return &node{kind: scalarNode, val: t.String()}, nil
+	case bool:
+		if t {
+			return &node{kind: scalarNode, val: "true"}, nil
+		}
+		return &node{kind: scalarNode, val: "false"}, nil
+	case nil:
+		return nil, fmt.Errorf("json: null values are not allowed")
+	default:
+		return nil, fmt.Errorf("json: unsupported value %T", v)
+	}
+}
