@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	sae-exp [-scale F] [-nodes N] [-ssd] [-seed S] [-parallel N]
+//	sae-exp [-scale F] [-nodes N] [-ssd] [-seed S] [-parallel N] [-audit]
 //	        [-scenario FILE]... [experiment ...]
 //
 // With no arguments it runs every experiment in order. Valid experiment IDs
@@ -19,6 +19,12 @@
 // line, so `sae-exp -scale 0.05 -seed 7 -scenario scenarios/autoscale.yaml`
 // is byte-identical to `sae-exp -scale 0.05 -seed 7 autoscale`.
 //
+// -audit attaches the invariant audit plane (internal/invariant) to every
+// run in the sweep. The auditor accumulates sequential per-run state, so
+// it rejects -parallel > 1; violations print to stderr and exit non-zero,
+// while the report stream stays byte-identical (the audit plane never
+// perturbs a run).
+//
 // For performance work, -cpuprofile/-memprofile/-trace write pprof CPU and
 // heap profiles and a Go execution trace covering the whole sweep.
 package main
@@ -33,6 +39,7 @@ import (
 
 	"sae"
 	"sae/internal/exp"
+	"sae/internal/invariant"
 	"sae/internal/prof"
 	"sae/internal/scenario"
 )
@@ -53,6 +60,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	csvDir := fs.String("csv", "", "also export each artifact's data series as CSV under this directory")
 	parallel := fs.Int("parallel", 1, "run experiments on up to N worker goroutines")
+	audit := fs.Bool("audit", false, "attach the invariant audit plane to every run (forces -parallel 1); violations print to stderr and exit non-zero")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	traceFile := fs.String("trace", "", "write a Go execution trace to this file")
@@ -81,6 +89,14 @@ func run(args []string) error {
 	setup.Seed = *seed
 	if *ssd {
 		setup = setup.WithSSD()
+	}
+	var aud *invariant.Auditor
+	if *audit {
+		if *parallel > 1 {
+			return fmt.Errorf("-audit accumulates sequential per-run state and cannot be combined with -parallel %d", *parallel)
+		}
+		aud = invariant.New()
+		setup.Audit = aud
 	}
 
 	ids := fs.Args()
@@ -119,6 +135,9 @@ func run(args []string) error {
 		if *ssd {
 			s = s.WithSSD()
 		}
+		if aud != nil {
+			s.Audit = aud
+		}
 		c, err := sp.Compile(s)
 		if err != nil {
 			return err
@@ -151,6 +170,14 @@ func run(args []string) error {
 	if *parallel > 1 {
 		fmt.Printf("[%d experiments on %d workers in %.2fs wall time]\n", len(results), *parallel, time.Since(start).Seconds())
 	}
+	if aud != nil {
+		if vs := aud.Violations(); len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Fprintln(os.Stderr, "sae-exp: invariant:", v)
+			}
+			return fmt.Errorf("%d invariant violation(s)", len(vs))
+		}
+	}
 	if len(failed) > 0 {
 		return fmt.Errorf("%d scenario expectation(s) failed: %s", len(failed), strings.Join(failed, "; "))
 	}
@@ -166,7 +193,7 @@ func listScenarios() {
 			fmt.Printf("%-12s (invalid: %v)\n", path, err)
 			continue
 		}
-		fmt.Printf("%-12s %s\n", path, sp.Description)
+		fmt.Printf("%-12s [%s] %s\n", path, sp.Kind, sp.Description)
 	}
 }
 

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHuntSmoke(t *testing.T) {
+	// A tiny corpus keeps the smoke fast; the seed spec has no chaos, so
+	// a couple of runs over the healthy engine must come back clean.
+	dir := t.TempDir()
+	spec := `version: 1
+kind: single
+name: smoke
+workload: aggregation
+policy: dynamic
+cluster:
+  scale: 0.02
+  seed: 1
+`
+	if err := os.WriteFile(filepath.Join(dir, "smoke.yaml"), []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "7", "-runs", "2", "-shrink", "2", "-corpus", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuntErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-corpus", t.TempDir()}, // no specs
+		{"-runs", "x"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

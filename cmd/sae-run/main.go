@@ -5,7 +5,7 @@
 //
 //	sae-run [-workload terasort] [-policy dynamic] [-threads 8]
 //	        [-scale F] [-nodes N] [-seed S] [-ssd] [-decisions] [-faults SPEC]
-//	        [-scenario FILE]
+//	        [-scenario FILE] [-audit]
 //	        [-trace FILE] [-trace-v2] [-metrics FILE] [-metrics-csv FILE]
 //	        [-prom FILE] [-metrics-interval D]
 //
@@ -18,6 +18,11 @@
 // -seed override it only when given explicitly, and -conf overrides beat
 // the spec's conf block. A spec with an expect block exits non-zero when
 // any assertion fails.
+//
+// -audit attaches the invariant audit plane (slot and byte conservation,
+// exactly-once shuffle, epoch and failure-detector legality — see
+// internal/invariant): violations print to stderr and the run exits
+// non-zero. Attaching it never perturbs the run or its exports.
 //
 // -faults applies a deterministic chaos schedule, e.g. "crash@90s" (kill
 // executor 1 at t=90s), "crash2@2m+30s" (kill executor 2 at 2m, restart 30s
@@ -45,6 +50,7 @@ import (
 
 	"sae"
 	"sae/internal/conf"
+	"sae/internal/invariant"
 	"sae/internal/prof"
 	"sae/internal/scenario"
 	"sae/internal/telemetry"
@@ -67,6 +73,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "node-variability seed")
 	ssd := fs.Bool("ssd", false, "use the SSD device model")
 	scenarioFile := fs.String("scenario", "", "run the scenario spec at this path instead of -workload/-policy")
+	audit := fs.Bool("audit", false, "attach the invariant audit plane; violations print to stderr and exit non-zero")
 	decisions := fs.Bool("decisions", false, "print the MAPE-K decision log")
 	var confFlags multiFlag
 	fs.Var(&confFlags, "conf", "configuration override key=value (repeatable, e.g. -conf speculation=true)")
@@ -157,6 +164,11 @@ func run(args []string) error {
 		setup.Metrics = reg
 		setup.MetricsInterval = *metricsInterval
 	}
+	var aud *invariant.Auditor
+	if *audit {
+		aud = invariant.New()
+		setup.Audit = aud
+	}
 	if sp != nil {
 		c, err := sp.Compile(setup)
 		if err != nil {
@@ -172,6 +184,9 @@ func run(args []string) error {
 			}
 		}
 		fmt.Print(res)
+		if err := auditVerdict(aud); err != nil {
+			return err
+		}
 		if f, ok := res.(interface{ Failures() []string }); ok {
 			if fails := f.Failures(); len(fails) > 0 {
 				return fmt.Errorf("scenario %s: %d expectation(s) failed: %s",
@@ -227,7 +242,24 @@ func run(args []string) error {
 			}
 		}
 	}
-	return nil
+	return auditVerdict(aud)
+}
+
+// auditVerdict reports the attached auditor's violations (nil auditor or a
+// clean run verdicts nil). Violations go to stderr so they never disturb
+// the report stream golden files compare.
+func auditVerdict(aud *invariant.Auditor) error {
+	if aud == nil {
+		return nil
+	}
+	vs := aud.Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	for _, v := range vs {
+		fmt.Fprintln(os.Stderr, "sae-run: invariant:", v)
+	}
+	return fmt.Errorf("%d invariant violation(s)", len(vs))
 }
 
 // exportMetrics writes the run's telemetry registry to the requested files.

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"testing"
+
+	"sae/internal/chaos"
+	"sae/internal/core"
+	"sae/internal/engine/job"
+)
+
+// countingAudit records every hook so tests can check the engine feeds the
+// audit plane a consistent transition stream.
+type countingAudit struct {
+	beginRuns, endRuns int
+	initialActive      []bool
+	events             []TraceEvent
+	launches, releases int
+	reclaimedSlots     int
+	reclaimCalls       int
+	epochs             map[int][]int
+	shuffleOutcomes    map[ShuffleOutcome]int
+	shuffleNodeLosses  int
+	tasksAccepted      int
+	jobsFinished       []*JobReport
+}
+
+func newCountingAudit() *countingAudit {
+	return &countingAudit{epochs: map[int][]int{}, shuffleOutcomes: map[ShuffleOutcome]int{}}
+}
+
+func (c *countingAudit) BeginRun(active []bool) { c.beginRuns++; c.initialActive = active }
+func (c *countingAudit) EndRun()                { c.endRuns++ }
+func (c *countingAudit) Event(ev TraceEvent)    { c.events = append(c.events, ev) }
+func (c *countingAudit) SlotLaunched(exec, jobID int) {
+	c.launches++
+}
+func (c *countingAudit) SlotReleased(exec, jobID int) { c.releases++ }
+func (c *countingAudit) SlotsReclaimed(exec, inflight int) {
+	c.reclaimCalls++
+	c.reclaimedSlots += inflight
+}
+func (c *countingAudit) ExecutorEpoch(exec, epoch int) {
+	c.epochs[exec] = append(c.epochs[exec], epoch)
+}
+func (c *countingAudit) ShuffleRegistered(jobID, stage, task, node int, out ShuffleOutcome) {
+	c.shuffleOutcomes[out]++
+}
+func (c *countingAudit) ShuffleNodeLost(node int)                  { c.shuffleNodeLosses++ }
+func (c *countingAudit) TaskAccepted(jobID int, m job.TaskMetrics) { c.tasksAccepted++ }
+func (c *countingAudit) JobFinished(rep *JobReport)                { c.jobsFinished = append(c.jobsFinished, rep) }
+
+// TestAuditHooksQuietRun checks the hook stream of a fault-free run: one
+// begin/end pair, a balanced slot ledger with no reclaims, every trace
+// event mirrored with At set even without a sink, and per-task metrics
+// summing to the job report.
+func TestAuditHooksQuietRun(t *testing.T) {
+	aud := newCountingAudit()
+	spec, inputs := twoStageJob()
+	opts := testOptions(4, core.Static{IOThreads: 4})
+	opts.Inputs = inputs
+	opts.Audit = aud
+	rep, err := Run(opts, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aud.beginRuns != 1 || aud.endRuns != 1 {
+		t.Fatalf("BeginRun/EndRun = %d/%d, want 1/1", aud.beginRuns, aud.endRuns)
+	}
+	if len(aud.initialActive) != 4 {
+		t.Fatalf("initial active set has %d executors, want 4", len(aud.initialActive))
+	}
+	for i, up := range aud.initialActive {
+		if !up {
+			t.Fatalf("executor %d inactive at t=0 without autoscale", i)
+		}
+	}
+	if aud.launches == 0 || aud.launches != aud.releases {
+		t.Fatalf("slot ledger launches=%d releases=%d, want equal and non-zero", aud.launches, aud.releases)
+	}
+	if aud.reclaimedSlots != 0 {
+		t.Fatalf("reclaimed %d slots on a quiet run", aud.reclaimedSlots)
+	}
+	if len(aud.events) == 0 {
+		t.Fatal("no trace events mirrored to the auditor")
+	}
+	last := 0.0
+	for _, ev := range aud.events {
+		if ev.At < last {
+			t.Fatalf("event %s at %.3f out of order (prev %.3f)", ev.Type, ev.At, last)
+		}
+		last = ev.At
+	}
+	if aud.shuffleOutcomes[ShuffleAccepted] == 0 {
+		t.Fatal("no accepted shuffle registrations on a shuffle job")
+	}
+	if aud.tasksAccepted == 0 {
+		t.Fatal("no TaskAccepted hooks")
+	}
+	if len(aud.jobsFinished) != 1 || aud.jobsFinished[0].ID != rep.ID {
+		t.Fatalf("JobFinished reports = %v, want the run's report", aud.jobsFinished)
+	}
+}
+
+// TestAuditHooksCrashRun checks loss accounting: the declared loss
+// reclaims exactly the slots still booked, epochs stay visible, and the
+// shuffle node loss is mirrored.
+func TestAuditHooksCrashRun(t *testing.T) {
+	quiet := calibrate(t, core.Static{IOThreads: 4})
+	aud := newCountingAudit()
+	spec, inputs := twoStageJob()
+	opts := testOptions(4, core.Static{IOThreads: 4})
+	opts.Inputs = inputs
+	opts.Faults = chaos.CrashAt(1, quiet.Stages[0].End*2/5)
+	opts.Audit = aud
+	if _, err := Run(opts, spec); err != nil {
+		t.Fatal(err)
+	}
+	if aud.reclaimCalls != 1 {
+		t.Fatalf("SlotsReclaimed calls = %d, want 1 (one declared loss)", aud.reclaimCalls)
+	}
+	if aud.launches != aud.releases+aud.reclaimedSlots {
+		t.Fatalf("slot ledger launches=%d != releases=%d + reclaimed=%d",
+			aud.launches, aud.releases, aud.reclaimedSlots)
+	}
+	// The node's outputs are invalidated twice: at physical crash time and
+	// again (pessimistically) when the failure detector declares the loss.
+	if aud.shuffleNodeLosses != 2 {
+		t.Fatalf("ShuffleNodeLost calls = %d, want 2 (crash + declaration)", aud.shuffleNodeLosses)
+	}
+}
+
+// TestEnableTestBugSkipSlotReclaim checks the mutation-test seam: with the
+// bug enabled, a declared loss leaks its booked slots (no reclaim hook)
+// — the defect internal/invariant and sae-hunt must catch.
+func TestEnableTestBugSkipSlotReclaim(t *testing.T) {
+	restore := EnableTestBug("skip-slot-reclaim")
+	defer restore()
+	quiet := calibrate(t, core.Static{IOThreads: 4})
+	aud := newCountingAudit()
+	spec, inputs := twoStageJob()
+	opts := testOptions(4, core.Static{IOThreads: 4})
+	opts.Inputs = inputs
+	opts.Faults = chaos.CrashAt(1, quiet.Stages[0].End*2/5)
+	opts.Audit = aud
+	if _, err := Run(opts, spec); err != nil {
+		t.Fatal(err)
+	}
+	if aud.reclaimCalls != 0 {
+		t.Fatalf("SlotsReclaimed fired %d time(s) with the reclaim bug enabled", aud.reclaimCalls)
+	}
+	if aud.launches == aud.releases {
+		t.Fatal("crash victim's slots were all released — the injected leak did not engage")
+	}
+}

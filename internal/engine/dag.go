@@ -315,6 +315,11 @@ func (e *Engine) finishJob(js *jobState) {
 		report.ThreadLogs = append(report.ThreadLogs, append([]ThreadChange(nil), ex.threadLog...))
 	}
 	js.report = report
+	if e.aud != nil {
+		// Before dropJob so the auditor can close out the job's shuffle
+		// mirror alongside the registry.
+		e.aud.JobFinished(report)
+	}
 	e.shuffle.dropJob(js.id)
 	e.completed++
 	e.trace(TraceEvent{Type: TraceJobEnd, Job: js.id, Stage: -1, Task: -1, Exec: -1, Detail: js.spec.Name})

@@ -430,7 +430,7 @@ func (c *autoCtl) decommission(i int) {
 	em.admin[i] = adminDown
 	ex.shutdown()
 	em.markLost(i, ex.epoch)
-	e.shuffle.removeNode(ex.node.ID)
+	e.removeShuffleNode(ex.node.ID)
 	e.trace(TraceEvent{Type: TraceDecommission, Job: -1, Stage: -1, Task: -1, Exec: i})
 	c.decommissions++
 	e.sched.reclaimNode(i)

@@ -113,6 +113,11 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// MetricsInterval is the sampler period (0 selects 5s).
 	MetricsInterval time.Duration
+	// Audit, if set, attaches the invariant audit plane: the engine calls
+	// the hooks synchronously as structural transitions happen (see the
+	// Audit interface). Like Metrics, attaching an auditor provably does
+	// not perturb the event log — traces stay byte-identical.
+	Audit Audit
 }
 
 // Engine wires the simulated cluster, DFS, shuffle registry and executors,
@@ -129,6 +134,9 @@ type Engine struct {
 	// tel is the telemetry instrumentation (nil without Options.Metrics;
 	// every hook is nil-safe so the default path stays untouched).
 	tel *engineTelemetry
+	// aud is the invariant audit plane (nil without Options.Audit; every
+	// call site nil-guards so the default path stays untouched).
+	aud Audit
 
 	em    *execManager
 	sched *taskScheduler
@@ -227,6 +235,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		cluster:  cluster.New(k, opts.Cluster),
 		shuffle:  newShuffleRegistry(),
 		toDriver: sim.NewMailbox[driverMsg](k),
+		aud:      opts.Audit,
 	}
 	e.sink = newTraceSink(opts.Trace, opts.TraceFormat)
 	e.fs = dfs.New(e.cluster, opts.BlockSize)
@@ -299,6 +308,13 @@ func NewEngine(opts Options) (*Engine, error) {
 		// event can fire, so the t=0 baseline sample sees assembled state.
 		e.tel = newEngineTelemetry(e)
 		e.tel.arm()
+	}
+	if e.aud != nil {
+		// After autoscale assembly so t=0 aliveness (including capacity
+		// not yet activated) is final, before any event can fire.
+		active := make([]bool, len(e.executors))
+		copy(active, e.em.alive)
+		e.aud.BeginRun(active)
 	}
 	if !opts.Faults.Empty() {
 		e.scheduleFaults(opts.Faults)
@@ -408,6 +424,9 @@ func (e *Engine) Wait() error {
 	}
 	if e.completed < len(e.jobs) {
 		return errors.New("engine: jobs did not complete")
+	}
+	if e.aud != nil {
+		e.aud.EndRun()
 	}
 	return e.sink.flushErr()
 }

@@ -199,6 +199,9 @@ func (m *execManager) otherFree(i int) bool {
 
 // launched records one task assignment to executor i on behalf of jobID.
 func (m *execManager) launched(i, jobID int) {
+	if a := m.eng.aud; a != nil {
+		a.SlotLaunched(i, jobID)
+	}
 	m.inflight[i]++
 	m.inflightJob[i][jobID]++
 	m.eng.jobs[jobID].running++
@@ -209,6 +212,9 @@ func (m *execManager) launched(i, jobID int) {
 // autoscaler is told, and defers the decommission to a same-instant kernel
 // event so it never mutates scheduler state mid-completion-handler.
 func (m *execManager) completed(i, jobID int) {
+	if a := m.eng.aud; a != nil {
+		a.SlotReleased(i, jobID)
+	}
 	m.inflight[i]--
 	m.inflightJob[i][jobID]--
 	m.eng.jobs[jobID].running--
@@ -253,11 +259,16 @@ func (m *execManager) markLost(exec, epoch int) {
 	m.alive[exec] = false
 	m.epochs[exec] = epoch
 	m.limits[exec] = 0
-	m.inflight[exec] = 0
-	for jobID, n := range m.inflightJob[exec] {
-		m.eng.jobs[jobID].running -= n
+	if testBug != bugSkipSlotReclaim {
+		if a := m.eng.aud; a != nil {
+			a.SlotsReclaimed(exec, m.inflight[exec])
+		}
+		m.inflight[exec] = 0
+		for jobID, n := range m.inflightJob[exec] {
+			m.eng.jobs[jobID].running -= n
+		}
+		m.inflightJob[exec] = make(map[int]int)
 	}
-	m.inflightJob[exec] = make(map[int]int)
 	m.failStreak[exec] = 0
 	m.blacklisted[exec] = false
 	m.suspected[exec] = false
@@ -273,6 +284,9 @@ func (m *execManager) markJoined(exec, epoch int) {
 	}
 	m.alive[exec] = true
 	m.epochs[exec] = epoch
+	if a := m.eng.aud; a != nil {
+		a.ExecutorEpoch(exec, epoch)
+	}
 	m.failStreak[exec] = 0
 	m.blacklisted[exec] = false
 	m.suspected[exec] = false

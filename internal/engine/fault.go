@@ -104,7 +104,7 @@ func (e *Engine) crashExecutor(i int) {
 	ex.shutdown()
 	// The node's local shuffle files die with the executor process; DFS
 	// blocks survive (the datanode is a separate process).
-	e.shuffle.removeNode(ex.node.ID)
+	e.removeShuffleNode(ex.node.ID)
 	e.trace(TraceEvent{Type: TraceExecCrash, Job: -1, Stage: ex.curStage, Task: -1, Exec: i, Detail: "crash"})
 }
 

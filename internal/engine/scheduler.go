@@ -317,6 +317,9 @@ func (s *taskScheduler) handleTaskDone(m *taskDoneMsg) {
 		js.fetchRetries += m.metrics.FetchRetries
 		js.checksumFailovers += m.metrics.ChecksumFailovers
 		e.tel.onTaskMetrics(m.metrics)
+		if e.aud != nil {
+			e.aud.TaskAccepted(m.job, m.metrics)
+		}
 	}
 	ts := s.sets[setKey{job: m.job, stage: m.metrics.Stage}]
 	if ts == nil {
@@ -434,7 +437,7 @@ func (s *taskScheduler) processLoss(exec int, reason string) {
 	// Spark-style pessimism: a lost executor's map outputs are unreachable
 	// whether the process died or merely fell silent, so invalidate them at
 	// declaration time.
-	e.shuffle.removeNode(e.executors[exec].node.ID)
+	e.removeShuffleNode(e.executors[exec].node.ID)
 	e.trace(TraceEvent{Type: TraceExecLost, Job: -1, Stage: -1, Task: -1, Exec: exec, Detail: reason})
 	for _, js := range e.jobs {
 		if js.started && !js.done {

@@ -48,12 +48,12 @@ func newShuffleRegistry() *shuffleRegistry {
 }
 
 // addMapOutput registers bytes of shuffle output that task of key spilled
-// on node. The first successful registration wins (a losing speculative
-// copy's duplicate is dropped); a registration for a lost entry replaces it
-// and counts as recovery.
-func (r *shuffleRegistry) addMapOutput(key setKey, task, node int, bytes int64) {
+// on node, and reports the registry's verdict. The first successful
+// registration wins (a losing speculative copy's duplicate is dropped); a
+// registration for a lost entry replaces it and counts as recovery.
+func (r *shuffleRegistry) addMapOutput(key setKey, task, node int, bytes int64) ShuffleOutcome {
 	if bytes <= 0 {
-		return
+		return ShuffleEmpty
 	}
 	idx := r.index[key]
 	if idx == nil {
@@ -63,14 +63,15 @@ func (r *shuffleRegistry) addMapOutput(key setKey, task, node int, bytes int64) 
 	if slot, ok := idx[task]; ok {
 		out := &r.outputs[key][slot]
 		if !out.lost {
-			return // an earlier attempt already won
+			return ShuffleDuplicate // an earlier attempt already won
 		}
 		r.recovered[key.job] += bytes
 		*out = mapOutput{task: task, node: node, bytes: bytes}
-		return
+		return ShuffleRecovered
 	}
 	idx[task] = len(r.outputs[key])
 	r.outputs[key] = append(r.outputs[key], mapOutput{task: task, node: node, bytes: bytes})
+	return ShuffleAccepted
 }
 
 // totalBytes returns the key's total currently-valid shuffle output.

@@ -380,7 +380,10 @@ func (tc *taskContext) run(work job.Work) (job.TaskMetrics, error) {
 		err = tc.failed
 	}
 	if tc.shuffleOut > 0 && err == nil && tc.ex.epoch == tc.epoch {
-		tc.eng.shuffle.addMapOutput(setKey{job: tc.jobID, stage: tc.stage.ID}, tc.index, tc.ex.node.ID, tc.shuffleOut)
+		out := tc.eng.shuffle.addMapOutput(setKey{job: tc.jobID, stage: tc.stage.ID}, tc.index, tc.ex.node.ID, tc.shuffleOut)
+		if a := tc.eng.aud; a != nil {
+			a.ShuffleRegistered(tc.jobID, tc.stage.ID, tc.index, tc.ex.node.ID, out)
+		}
 	}
 	disk1 := tc.ex.node.Disk.Snapshot()
 	busyFrac := 0.0

@@ -122,15 +122,23 @@ func (t *traceSink) flushErr() error {
 	return fmt.Errorf("engine: trace log: %w", t.err)
 }
 
-// trace emits an event if tracing is enabled, and mirrors it into the
-// telemetry event counters if a metrics registry is attached.
+// trace emits an event if tracing is enabled, mirrors it into the
+// telemetry event counters if a metrics registry is attached, and into the
+// audit plane if an auditor is attached. The auditor sees exactly the
+// bytes-equivalent event the sink would emit (At populated), in emission
+// order, whether or not a sink exists.
 func (e *Engine) trace(ev TraceEvent) {
 	e.tel.onEvent(ev.Type)
-	if e.sink == nil {
+	if e.aud == nil && e.sink == nil {
 		return
 	}
 	ev.At = e.k.Now().Seconds()
-	e.sink.emit(ev)
+	if e.aud != nil {
+		e.aud.Event(ev)
+	}
+	if e.sink != nil {
+		e.sink.emit(ev)
+	}
 }
 
 // ReadTrace decodes a trace log produced via Options.Trace, accepting both

@@ -48,6 +48,11 @@ type Setup struct {
 	Metrics *telemetry.Registry
 	// MetricsInterval is the telemetry sampler period (0 selects 5s).
 	MetricsInterval time.Duration
+	// Audit, if set, attaches the invariant audit plane to every engine
+	// the setup builds (see engine.Options.Audit). An auditor accumulates
+	// sequential per-run state, so like Trace and Metrics it forces
+	// sequential experiment execution.
+	Audit engine.Audit
 }
 
 // Default returns the paper's 4-node HDD environment.
@@ -103,6 +108,7 @@ func (s Setup) Run(w *workloads.Spec, policy job.Policy, onSetup func(*engine.En
 		TraceFormat:     s.TraceFormat,
 		Metrics:         s.Metrics,
 		MetricsInterval: s.MetricsInterval,
+		Audit:           s.Audit,
 	}
 	if s.Config != nil {
 		if err := engine.ApplyConfig(&opts, s.Config); err != nil {

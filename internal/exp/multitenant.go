@@ -39,6 +39,7 @@ func (s Setup) RunMulti(ws []*workloads.Spec, policy job.Policy, jobPolicy engin
 		TraceFormat:     s.TraceFormat,
 		Metrics:         s.Metrics,
 		MetricsInterval: s.MetricsInterval,
+		Audit:           s.Audit,
 	}
 	if s.Config != nil {
 		if err := engine.ApplyConfig(&opts, s.Config); err != nil {

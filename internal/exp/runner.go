@@ -316,6 +316,7 @@ func (r Runner) replayArrivals(scenario string, cfg ArrivalConfig, m ArrivalMatr
 		TraceFormat:     s.TraceFormat,
 		Metrics:         s.Metrics,
 		MetricsInterval: s.MetricsInterval,
+		Audit:           s.Audit,
 		Autoscale: &engine.AutoscaleConfig{
 			Policy:            cfg.Policy(),
 			Interval:          m.Interval,

@@ -101,9 +101,16 @@ func (c *Compiled) workloadConfig() workloads.Config {
 
 // Check is one expect-assertion verdict of a single run.
 type Check struct {
+	// Name is the expect-assertion key ("max_runtime_sec", ...) — the
+	// metric being asserted.
 	Name   string
 	OK     bool
 	Detail string
+	// Observed and Threshold are the structured form of the comparison:
+	// the measured value and the spec's bound, in the assertion's own
+	// unit (seconds, executors, GiB).
+	Observed  float64
+	Threshold float64
 }
 
 // SingleResult is a single scenario run: the engine report plus the
@@ -114,12 +121,14 @@ type SingleResult struct {
 	Checks   []Check
 }
 
-// Failures lists the failed assertions (empty on a passing run).
+// Failures lists the failed assertions (empty on a passing run), naming
+// for each the metric, the observed value, and the threshold it broke.
 func (r *SingleResult) Failures() []string {
 	var out []string
 	for _, c := range r.Checks {
 		if !c.OK {
-			out = append(out, fmt.Sprintf("%s: %s", c.Name, c.Detail))
+			out = append(out, fmt.Sprintf("assertion %s failed: observed %g, threshold %g (%s)",
+				c.Name, c.Observed, c.Threshold, c.Detail))
 		}
 	}
 	return out
@@ -168,21 +177,34 @@ func (c *Compiled) compileSingle() error {
 				sec := rep.Runtime.Seconds()
 				res.Checks = append(res.Checks, Check{
 					Name: "max_runtime_sec", OK: sec <= e.MaxRuntimeSec,
-					Detail: fmt.Sprintf("runtime %.1fs, limit %.1fs", sec, e.MaxRuntimeSec),
+					Detail:   fmt.Sprintf("runtime %.1fs, limit %.1fs", sec, e.MaxRuntimeSec),
+					Observed: sec, Threshold: e.MaxRuntimeSec,
 				})
 			}
 			if e.MaxLostExecutors != nil {
 				res.Checks = append(res.Checks, Check{
 					Name: "max_lost_executors", OK: rep.LostExecutors <= *e.MaxLostExecutors,
-					Detail: fmt.Sprintf("lost %d, limit %d", rep.LostExecutors, *e.MaxLostExecutors),
+					Detail:   fmt.Sprintf("lost %d, limit %d", rep.LostExecutors, *e.MaxLostExecutors),
+					Observed: float64(rep.LostExecutors), Threshold: float64(*e.MaxLostExecutors),
 				})
 			}
 			if e.MinRecoveredGiB > 0 {
 				got := workloads.GiB(rep.RecoveredBytes)
 				res.Checks = append(res.Checks, Check{
 					Name: "min_recovered_gib", OK: got >= e.MinRecoveredGiB,
-					Detail: fmt.Sprintf("recovered %.2f GiB, floor %.2f GiB", got, e.MinRecoveredGiB),
+					Detail:   fmt.Sprintf("recovered %.2f GiB, floor %.2f GiB", got, e.MinRecoveredGiB),
+					Observed: got, Threshold: e.MinRecoveredGiB,
 				})
+			}
+		}
+		// A setup carrying an auditor folds expect/SLO breaches into the
+		// same violation stream as the structural invariants, so the
+		// chaos hunter treats both uniformly.
+		if fl, ok := s.Audit.(interface{ Flag(rule, detail string) }); ok {
+			for _, ch := range res.Checks {
+				if !ch.OK {
+					fl.Flag("expect:"+ch.Name, ch.Detail)
+				}
 			}
 		}
 		return res, nil

@@ -96,6 +96,9 @@ func parsePctDur(s string) (pctDur, error) {
 		if err != nil || n < 0 {
 			return pctDur{}, fmt.Errorf("%q is not a percentage (want e.g. 45%%)", s)
 		}
+		if n > 100 {
+			return pctDur{}, fmt.Errorf("percentage %q is out of range (times are fractions of the quiet runtime; want 0%%-100%%)", s)
+		}
 		return pctDur{pct: n, isPct: true}, nil
 	}
 	d, err := time.ParseDuration(s)

@@ -326,3 +326,33 @@ func TestLoadMissingFile(t *testing.T) {
 		t.Error("Load of a missing file succeeded")
 	}
 }
+
+func TestPercentageOutOfRange(t *testing.T) {
+	doc := `version: 1
+name: demo
+kind: chaos-matrix
+workload: terasort
+policies: [default]
+schedules:
+  - crash1@150%
+report: faults
+`
+	msg := parseErr(t, doc)
+	requireErr(t, msg, "7", "schedules[0]", `"150%"`, "out of range", "0%-100%")
+}
+
+func TestNonPositiveSlowFactor(t *testing.T) {
+	for _, factor := range []string{"0", "-1.5"} {
+		doc := `version: 1
+name: demo
+kind: chaos-matrix
+workload: terasort
+policies: [default]
+schedules:
+  - slow1@30%x` + factor + `
+report: faults
+`
+		msg := parseErr(t, doc)
+		requireErr(t, msg, "7", "schedules[0]", "bad factor", `"`+factor+`"`)
+	}
+}
