@@ -222,6 +222,15 @@ func BenchmarkProcessorSharing(b *testing.B) { bench.ProcessorSharing(b) }
 // draw plus kernel dispatch of every submission.
 func BenchmarkArrivalGen(b *testing.B) { bench.ArrivalGen(b) }
 
+// BenchmarkShardedMatrix measures one 256-executor grayfail run on one, two
+// and four shard kernels — the windowed coordinator's intra-run parallelism
+// surface. Speedup scales with min(GOMAXPROCS, shards).
+func BenchmarkShardedMatrix(b *testing.B) {
+	b.Run("shards=1", bench.ShardedMatrix1)
+	b.Run("shards=2", bench.ShardedMatrix2)
+	b.Run("shards=4", bench.ShardedMatrix4)
+}
+
 // BenchmarkDynamicController measures MAPE-K decision overhead.
 func BenchmarkDynamicController(b *testing.B) {
 	c := core.DefaultDynamic().NewController(job.ExecutorInfo{MaxThreads: 32})

@@ -13,7 +13,8 @@ import (
 // SimSuite benchmarks the simulation substrate: the kernel's event queue on
 // its distinct hot paths (ring fast lane, 4-ary heap, reschedule-in-place
 // churn, periodic ticks, cancel-heavy speculation patterns), process
-// switching, and the processor-sharing server under stream churn.
+// switching, the processor-sharing server under stream churn, and the
+// sharded-kernel coordinator on a large-cluster matrix (sharded.go).
 func SimSuite() []Benchmark {
 	return []Benchmark{
 		{Name: "KernelRing", Body: KernelRing},
@@ -25,6 +26,9 @@ func SimSuite() []Benchmark {
 		{Name: "ProcessPingPong", Body: ProcessPingPong},
 		{Name: "ProcessorSharing", Body: ProcessorSharing},
 		{Name: "ArrivalGen", Body: ArrivalGen},
+		{Name: "ShardedMatrix1", Body: ShardedMatrix1},
+		{Name: "ShardedMatrix2", Body: ShardedMatrix2},
+		{Name: "ShardedMatrix4", Body: ShardedMatrix4},
 	}
 }
 

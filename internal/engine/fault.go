@@ -53,8 +53,10 @@ func (e *Engine) scheduleFaults(plan *chaos.Plan) {
 			continue
 		}
 		s := s
-		e.k.At(s.At, func() {
-			if e.done {
+		// The slowdown throttles node-local devices, so it fires on the
+		// node's shard kernel.
+		e.kernelOf(s.Exec).At(s.At, func() {
+			if e.done.Load() {
 				return
 			}
 			node := e.executors[s.Exec].node
@@ -72,14 +74,14 @@ func (e *Engine) scheduleFaults(plan *chaos.Plan) {
 		}
 		pt := pt
 		e.k.At(pt.At, func() {
-			if e.done {
+			if e.done.Load() {
 				return
 			}
 			e.trace(TraceEvent{Type: TracePartition, Job: -1, Stage: -1, Task: -1, Exec: pt.Exec,
 				Detail: fmt.Sprintf("start, heals after %s", pt.Duration)})
 		})
 		e.k.At(pt.At+pt.Duration, func() {
-			if e.done {
+			if e.done.Load() {
 				return
 			}
 			e.trace(TraceEvent{Type: TracePartition, Job: -1, Stage: -1, Task: -1, Exec: pt.Exec,
@@ -94,7 +96,7 @@ func (e *Engine) scheduleFaults(plan *chaos.Plan) {
 // notices the heartbeat silence, suspects, and declares the executor lost
 // at the heartbeat timeout.
 func (e *Engine) crashExecutor(i int) {
-	if e.done {
+	if e.done.Load() {
 		return
 	}
 	ex := e.executors[i]
@@ -112,7 +114,7 @@ func (e *Engine) crashExecutor(i int) {
 // ThreadCountUpdate flow by re-sending the active stages, whose fresh
 // controllers bootstrap the MAPE-K loop again from cmin.
 func (e *Engine) restartExecutor(i int) {
-	if e.done {
+	if e.done.Load() {
 		return
 	}
 	ex := e.executors[i]

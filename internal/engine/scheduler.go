@@ -526,7 +526,7 @@ func (s *taskScheduler) handleExecJoin(m *execJoinMsg) {
 		if limit == 0 || init < limit {
 			limit = init
 		}
-		ex.inbox.Send(e.cluster.ControlLatency(), execMsg{stageStart: &stageStartMsg{job: key.job, stage: ts.stage}})
+		e.sendExec(ex, execMsg{stageStart: &stageStartMsg{job: key.job, stage: ts.stage}})
 	}
 	em.limits[m.exec] = limit
 	s.assign(m.exec)
@@ -559,7 +559,7 @@ func (s *taskScheduler) handleHeartbeat(m *heartbeatMsg) {
 			js.fenced++
 		}
 	}
-	e.executors[m.exec].inbox.Send(e.cluster.ControlLatency(),
+	e.sendExec(e.executors[m.exec],
 		execMsg{fence: &fenceMsg{epoch: em.epochs[m.exec] + 1}})
 }
 
@@ -741,7 +741,7 @@ func (s *taskScheduler) launch(ts *taskSet, pick, i int) {
 			lm.inputTotal += seg.bytes
 		}
 	}
-	ex.inbox.Send(e.cluster.ControlLatency(), execMsg{launch: lm})
+	e.sendExec(ex, execMsg{launch: lm})
 }
 
 // speculate launches backup copies of stragglers once the stage is mostly

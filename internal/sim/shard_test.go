@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// buildMergedModel constructs an identical workload on ks[0..2] — procs,
+// periodic timers, cross-kernel mailboxes, same-instant events, cancels —
+// and returns the shared log. Passing the same kernel three times yields
+// the single-kernel reference run.
+func buildMergedModel(ks [3]*Kernel, log *[]string) {
+	rec := func(k *Kernel, what string) {
+		*log = append(*log, fmt.Sprintf("%v %s", k.Now(), what))
+	}
+	boxes := [3]*Mailbox[int]{}
+	for i := range boxes {
+		boxes[i] = NewMailbox[int](ks[i])
+	}
+	// A ring of processes bouncing a token across kernels with latency.
+	for i := range ks {
+		i := i
+		ks[i].Go(fmt.Sprintf("ring-%d", i), func(p *Proc) {
+			for hops := 0; hops < 5; hops++ {
+				v := boxes[i].Recv(p)
+				rec(ks[i], fmt.Sprintf("ring-%d got %d", i, v))
+				boxes[(i+1)%3].Send(3*time.Millisecond, v+1)
+			}
+		})
+	}
+	boxes[0].Send(0, 100)
+	// Periodic tickers on every kernel at the same period: same-instant
+	// events on different kernels every tick.
+	for i := range ks {
+		i := i
+		var ev Event
+		n := 0
+		ev = ks[i].Every(2*time.Millisecond, func() {
+			rec(ks[i], fmt.Sprintf("tick-%d", i))
+			if n++; n == 4 {
+				ev.Cancel()
+			}
+		})
+	}
+	// A cancelled timer and a rescheduled one.
+	dead := ks[1].After(5*time.Millisecond, func() { rec(ks[1], "never") })
+	dead.Cancel()
+	mv := ks[2].After(1*time.Millisecond, func() { rec(ks[2], "moved") })
+	mv.Reschedule(7 * time.Millisecond)
+	// A proc that parks forever: killed at shutdown, logging via defer so
+	// the global kill order is observable.
+	for i := range ks {
+		i := i
+		ks[i].Go(fmt.Sprintf("parked-%d", i), func(p *Proc) {
+			defer rec(ks[i], fmt.Sprintf("killed-%d", i))
+			p.Park()
+		})
+	}
+}
+
+// TestShardSetMergedIdentity: a merged shard set must produce exactly the
+// event order of a single kernel running the union of the model.
+func TestShardSetMergedIdentity(t *testing.T) {
+	var want []string
+	k := NewKernel()
+	buildMergedModel([3]*Kernel{k, k, k}, &want)
+	k.Run()
+
+	var got []string
+	ss := NewShardSet(3, time.Millisecond)
+	buildMergedModel([3]*Kernel{ss.Shard(0), ss.Shard(1), ss.Shard(2)}, &got)
+	ss.Run()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged shard run diverged from single kernel:\n got %v\nwant %v", got, want)
+	}
+	if len(want) == 0 {
+		t.Fatal("model produced no log entries")
+	}
+}
+
+// TestShardSetMergedIdentityTwoShards re-runs the identity check at a
+// different shard count mapping two model roles onto one kernel.
+func TestShardSetMergedIdentityTwoShards(t *testing.T) {
+	var want []string
+	k := NewKernel()
+	buildMergedModel([3]*Kernel{k, k, k}, &want)
+	k.Run()
+
+	var got []string
+	ss := NewShardSet(2, time.Millisecond)
+	buildMergedModel([3]*Kernel{ss.Shard(0), ss.Shard(1), ss.Shard(0)}, &got)
+	ss.Run()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("2-shard merged run diverged from single kernel:\n got %v\nwant %v", got, want)
+	}
+}
+
+// windowedModel builds an engine-shaped workload: shard-local busywork plus
+// cross-shard messages routed through send (which must respect the
+// lookahead). Each shard keeps its own log so concurrent windows never
+// share a slice. Returns per-shard logs.
+func windowedModel(ks []*Kernel, send func(from, dst int, d time.Duration, fn func())) []*[]string {
+	logs := make([]*[]string, len(ks))
+	for i := range logs {
+		logs[i] = new([]string)
+	}
+	rec := func(i int, what string) {
+		*logs[i] = append(*logs[i], fmt.Sprintf("%v %s", ks[i].Now(), what))
+	}
+	inbox := make([]*Mailbox[string], len(ks))
+	for i := range ks {
+		inbox[i] = NewMailbox[string](ks[i])
+	}
+	for i := range ks {
+		i := i
+		ks[i].Go(fmt.Sprintf("worker-%d", i), func(p *Proc) {
+			for round := 0; round < 6; round++ {
+				// Shard-local busywork: a burst of same-instant and
+				// near-future events.
+				for j := 0; j < 3; j++ {
+					p.Sleep(time.Duration(j) * 100 * time.Microsecond)
+					rec(i, fmt.Sprintf("work r%d j%d", round, j))
+				}
+				if i != 0 {
+					// Report to shard 0 with a latency covering the
+					// lookahead.
+					msg := fmt.Sprintf("from-%d r%d", i, round)
+					send(i, 0, 2*time.Millisecond, func() { inbox[0].Put(msg) })
+				}
+				p.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+	ks[0].Go("collector", func(p *Proc) {
+		total := 6 * (len(ks) - 1) // every non-zero shard reports once per round
+		for n := 0; n < total; n++ {
+			m := inbox[0].Recv(p)
+			rec(0, "recv "+m)
+		}
+	})
+	return logs
+}
+
+// TestShardSetWindowedDeterministic: two identical windowed runs produce
+// identical per-shard logs.
+func TestShardSetWindowedDeterministic(t *testing.T) {
+	run := func() [][]string {
+		ss := NewShardSet(4, time.Millisecond)
+		ks := []*Kernel{ss.Shard(0), ss.Shard(1), ss.Shard(2), ss.Shard(3)}
+		logs := windowedModel(ks, ss.Send)
+		ss.RunWindows()
+		out := make([][]string, len(logs))
+		for i, l := range logs {
+			out[i] = *l
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("windowed runs diverged:\n a %v\n b %v", a, b)
+	}
+	if len(a[0]) == 0 || len(a[1]) == 0 {
+		t.Fatalf("windowed model produced empty logs: %v", a)
+	}
+}
+
+// TestShardSetWindowedMatchesMerged: when cross-shard traffic respects the
+// lookahead and lands at distinct instants, the windowed run's per-shard
+// logs equal the merged run's (the merged run routes the same sends by
+// direct cross-kernel scheduling).
+func TestShardSetWindowedMatchesMerged(t *testing.T) {
+	merged := func() [][]string {
+		ss := NewShardSet(3, time.Millisecond)
+		ks := []*Kernel{ss.Shard(0), ss.Shard(1), ss.Shard(2)}
+		send := func(from, dst int, d time.Duration, fn func()) {
+			ks[dst].After(d, fn)
+		}
+		logs := windowedModel(ks, send)
+		ss.Run()
+		out := make([][]string, len(logs))
+		for i, l := range logs {
+			out[i] = *l
+		}
+		return out
+	}()
+	windowed := func() [][]string {
+		ss := NewShardSet(3, time.Millisecond)
+		ks := []*Kernel{ss.Shard(0), ss.Shard(1), ss.Shard(2)}
+		logs := windowedModel(ks, ss.Send)
+		ss.RunWindows()
+		out := make([][]string, len(logs))
+		for i, l := range logs {
+			out[i] = *l
+		}
+		return out
+	}()
+	if !reflect.DeepEqual(windowed, merged) {
+		t.Fatalf("windowed diverged from merged:\n windowed %v\n merged %v", windowed, merged)
+	}
+}
+
+// TestShardSetSameInstantMergeOrder: messages from different shards
+// arriving at the same nanosecond are delivered in (time, source shard,
+// source seq) order, whatever order the sending windows ran in.
+func TestShardSetSameInstantMergeOrder(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		ss := NewShardSet(3, time.Millisecond)
+		var got []string
+		for src := 1; src <= 2; src++ {
+			src := src
+			ss.Shard(src).Go(fmt.Sprintf("src-%d", src), func(p *Proc) {
+				// Both shards send two messages at the same virtual
+				// instant, arriving at the same nanosecond on shard 0.
+				for n := 0; n < 2; n++ {
+					msg := fmt.Sprintf("src%d-msg%d", src, n)
+					ss.Send(src, 0, 2*time.Millisecond, func() {
+						got = append(got, msg)
+					})
+				}
+			})
+		}
+		ss.RunWindows()
+		want := []string{"src1-msg0", "src1-msg1", "src2-msg0", "src2-msg1"}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: same-instant merge order %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestRunUntilBoundary: RunUntil fires strictly-before-limit events only,
+// leaves the clock at the last fired event, and resumes cleanly across
+// windows.
+func TestRunUntilBoundary(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d
+		k.At(d*time.Millisecond, func() {
+			got = append(got, fmt.Sprintf("%d", d))
+		})
+	}
+	k.RunUntil(3 * time.Millisecond)
+	if want := []string{"1", "2"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("first window fired %v, want %v", got, want)
+	}
+	if k.Now() != 2*time.Millisecond {
+		t.Fatalf("clock at %v after first window, want 2ms", k.Now())
+	}
+	if !k.HasPendingEvents() {
+		t.Fatal("events at/after the limit must stay queued")
+	}
+	k.RunUntil(noLimit)
+	if want := []string{"1", "2", "3", "4"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after second window fired %v, want %v", got, want)
+	}
+}
+
+// TestRunUntilParksProcesses: a process sleeping past the window limit
+// stays parked between windows and resumes in a later window.
+func TestRunUntilParksProcesses(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.Go("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, fmt.Sprintf("%v wake %d", k.Now(), i))
+			p.Sleep(10 * time.Millisecond)
+		}
+	})
+	for w := time.Duration(1); len(got) < 3 && w < 100; w++ {
+		k.RunUntil(w * 5 * time.Millisecond)
+	}
+	want := []string{"0s wake 0", "10ms wake 1", "20ms wake 2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Drain and shut down so the sleeper goroutine exits.
+	k.Run()
+}
+
+// TestStepPrimitives: Peek/Process step through ring and heap events in
+// (time, seq) order and skip cancelled corpses.
+func TestStepPrimitives(t *testing.T) {
+	ss := NewShardSet(1, time.Millisecond)
+	k := ss.Shard(0)
+	var got []string
+	k.At(0, func() { got = append(got, "ring") }) // same-instant: ring lane
+	k.At(2*time.Millisecond, func() { got = append(got, "heap") })
+	dead := k.At(1*time.Millisecond, func() { got = append(got, "cancelled") })
+	dead.Cancel()
+	if !k.HasPendingEvents() {
+		t.Fatal("expected pending events")
+	}
+	if at, ok := k.PeekNextEventTime(); !ok || at != 0 {
+		t.Fatalf("peek = %v %v, want 0 true", at, ok)
+	}
+	if !k.ProcessNextEvent() {
+		t.Fatal("expected an event to fire")
+	}
+	if at, ok := k.PeekNextEventTime(); !ok || at != 2*time.Millisecond {
+		t.Fatalf("peek after cancel-skip = %v %v, want 2ms true", at, ok)
+	}
+	if !k.ProcessNextEvent() {
+		t.Fatal("expected the heap event to fire")
+	}
+	if k.ProcessNextEvent() {
+		t.Fatal("queue should be drained")
+	}
+	if want := []string{"ring", "heap"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+}
+
+// TestShardSendGuards: Send panics outside windowed runs and on delays
+// below the lookahead.
+func TestShardSendGuards(t *testing.T) {
+	ss := NewShardSet(2, time.Millisecond)
+	mustPanic := func(what string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", what)
+			}
+		}()
+		fn()
+	}
+	mustPanic("send outside windowed run", func() {
+		ss.Send(0, 1, 2*time.Millisecond, func() {})
+	})
+	ss.Shard(0).Go("violator", func(p *Proc) {
+		mustPanic("send below lookahead", func() {
+			ss.Send(0, 1, time.Microsecond, func() {})
+		})
+	})
+	ss.RunWindows()
+}
